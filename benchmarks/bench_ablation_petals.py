@@ -1,0 +1,84 @@
+"""Ablation: petal count and SFC family vs system behaviour.
+
+DESIGN.md design choices probed here:
+
+* number of SFCs (lambda): one monolithic serpentine vs the paper's six
+  petals vs more -- multiple petals shorten re-entry jumps (Eq. (1)) and
+  add redundancy at the cost of a few extra top-level links;
+* mapping strategy on the *same* Floret topology: contiguous (dataflow-
+  aware) vs greedy least-hop.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import ContiguousMapper, GreedyMapper, SystemScheduler
+from repro.core.floret import build_floret
+from repro.eval import format_table
+from repro.workloads import mix_by_name
+
+
+def _petal_sweep():
+    tasks = mix_by_name("WL5").tasks()
+    rows = []
+    for petals in (1, 2, 4, 6, 10):
+        design = build_floret(100, petals)
+        mapper = ContiguousMapper(design.allocation_order, design.topology)
+        result = SystemScheduler(design.topology, mapper).run(tasks)
+        rows.append(
+            (
+                petals,
+                design.curve.eq1_distance,
+                design.topology.num_links,
+                result.mean_packet_latency,
+                result.utilization,
+            )
+        )
+    return rows
+
+
+def test_ablation_petal_count(benchmark):
+    rows = run_once(benchmark, _petal_sweep)
+    table = format_table(
+        ["petals", "Eq1 d", "links", "pkt latency", "utilization"],
+        rows,
+        title="Ablation: petal count (WL5, 100 chiplets)",
+    )
+    print()
+    print(table)
+    by_petals = {r[0]: r for r in rows}
+    # Multiple petals must not lose to the monolithic curve on latency.
+    assert by_petals[6][3] <= by_petals[1][3] * 1.05
+
+
+def _mapping_strategy():
+    design = build_floret(100, 6)
+    tasks = mix_by_name("WL3").tasks()
+    contiguous = SystemScheduler(
+        design.topology,
+        ContiguousMapper(design.allocation_order, design.topology),
+    ).run(tasks)
+    greedy = SystemScheduler(
+        design.topology, GreedyMapper(design.topology)
+    ).run(tasks)
+    return contiguous, greedy
+
+
+def test_ablation_mapping_strategy(benchmark):
+    contiguous, greedy = run_once(benchmark, _mapping_strategy)
+    table = format_table(
+        ["mapper", "pkt latency", "NoI energy (pJ)", "utilization"],
+        [
+            ("contiguous", contiguous.mean_packet_latency,
+             contiguous.total_noi_energy_pj, contiguous.utilization),
+            ("greedy", greedy.mean_packet_latency,
+             greedy.total_noi_energy_pj, greedy.utilization),
+        ],
+        title="Ablation: mapping strategy on the Floret topology (WL3)",
+        float_format="{:.3e}",
+    )
+    print()
+    print(table)
+    # Dataflow-aware contiguous mapping beats greedy on its own curve.
+    assert contiguous.mean_packet_latency <= greedy.mean_packet_latency

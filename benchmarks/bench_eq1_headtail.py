@@ -1,0 +1,32 @@
+"""Eq. (1) ablation: head/tail placement optimisation and petal count.
+
+The paper's Eq. (1) objective d -- the mean Manhattan distance from each
+SFC's tail to every other SFC's head -- is what the Floret construction
+minimises.  This bench sweeps the petal count and compares optimised vs
+default orientations.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import exp_eq1_headtail, format_table
+
+
+def test_eq1_headtail_optimization(benchmark):
+    rows = run_once(benchmark, exp_eq1_headtail)
+    table = format_table(
+        ["petals", "optimised d", "default d", "improvement"],
+        [
+            (r.petals, r.optimized_d, r.unoptimized_d, r.improvement)
+            for r in rows
+        ],
+        title="Eq. (1): mean tail-to-head distance d on a 10x10 grid",
+    )
+    print()
+    print(table)
+    for r in rows:
+        assert r.optimized_d <= r.unoptimized_d + 1e-9
+    # The paper's 6-petal running example benefits substantially.
+    six = next(r for r in rows if r.petals == 6)
+    assert six.improvement > 1.3

@@ -1,0 +1,52 @@
+"""Extension: heterogeneous transformer acceleration (Section IV).
+
+Quantifies the paper's closing argument: running attention's dynamic
+matmuls on NVM PIM costs crossbar rewrites every inference (latency,
+energy, endurance), while a heterogeneous system (SFC PIM macro +
+tensor-core islands) avoids them entirely.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import format_table
+from repro.eval.extensions import exp_hetero_transformer
+
+
+def test_ext_heterogeneous_transformer(benchmark):
+    rows = run_once(benchmark, exp_hetero_transformer)
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            (
+                r.config_name,
+                r.pim_only.latency_cycles,
+                r.heterogeneous.latency_cycles,
+                r.speedup,
+                r.energy_ratio,
+                f"{r.pim_only.lifetime_inferences():.2e}",
+            )
+        )
+    print()
+    print(format_table(
+        ["config", "PIM-only (cyc)", "hetero (cyc)", "speedup",
+         "energy x", "PIM-only lifetime (inferences)"],
+        table_rows,
+        title="Section IV: PIM-only vs heterogeneous encoder stacks",
+    ))
+    for r in rows:
+        # Heterogeneous must win on latency and energy, and PIM-only must
+        # have finite (endurance-limited) lifetime.
+        assert r.speedup > 1.5
+        assert r.energy_ratio > 1.0
+        assert r.pim_only.lifetime_inferences() != float("inf")
+        assert r.heterogeneous.lifetime_inferences() == float("inf")
+    # Bigger models suffer more from rewrites (paper: 8.98x vs 2.06x
+    # storage blow-up).
+    tiny = next(r for r in rows if r.config_name == "bert-tiny")
+    base = next(r for r in rows if r.config_name == "bert-base")
+    assert (
+        base.pim_only.cell_writes_per_inference
+        > tiny.pim_only.cell_writes_per_inference
+    )

@@ -1,0 +1,39 @@
+"""Extension: inherent redundancy of multiple SFCs.
+
+Paper: "Instead of one monolithic SFC, we use multiple SFCs to introduce
+inherent redundancy in the system."  Quantified as the fraction of
+single-link failures the NoI survives (bridge-link census).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import format_table
+from repro.eval.extensions import exp_redundancy
+
+
+def test_ext_redundancy(benchmark):
+    rows = run_once(benchmark, exp_redundancy)
+    print()
+    print(format_table(
+        ["design", "links", "single points of failure",
+         "survival fraction"],
+        [
+            (r.label, r.num_links, r.disconnecting_links,
+             r.survival_fraction)
+            for r in rows
+        ],
+        title="Single-link-failure tolerance, 100 chiplets",
+    ))
+    by_label = {r.label: r for r in rows}
+    # A monolithic chain dies on every cut; the 6-petal Floret survives
+    # a meaningful share thanks to the top-level tail->head links.
+    assert by_label["floret-1sfc"].survival_fraction == 0.0
+    assert by_label["floret-6sfc"].survival_fraction > 0.5
+    # The mesh is the (expensive) gold standard; the 6-petal Floret gets
+    # there with almost half the links.
+    assert (
+        by_label["siam"].survival_fraction
+        >= by_label["floret-6sfc"].survival_fraction
+    )

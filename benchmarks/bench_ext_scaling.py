@@ -1,0 +1,48 @@
+"""Extension: latency/energy scaling with system size.
+
+Paper Section II: "multi-hop NoI architectures ... do not scale with
+more chiplets".  The Floret advantage should persist (or grow) as the
+chiplet count rises from 36 to 144.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import format_table
+from repro.eval.extensions import exp_scaling
+
+
+def test_ext_scaling(benchmark):
+    rows = run_once(benchmark, exp_scaling)
+    by_size = {}
+    for r in rows:
+        by_size.setdefault(r.num_chiplets, {})[r.arch] = r
+    table_rows = []
+    for size, archs in sorted(by_size.items()):
+        base = archs["floret"].packet_latency
+        table_rows.append(
+            (
+                size,
+                archs["floret"].packet_latency,
+                archs["siam"].packet_latency / base,
+                archs["kite"].packet_latency / base,
+                archs["siam"].noi_energy_pj / archs["floret"].noi_energy_pj,
+                archs["kite"].noi_energy_pj / archs["floret"].noi_energy_pj,
+            )
+        )
+    print()
+    print(format_table(
+        ["chiplets", "floret pkt lat", "siam lat x", "kite lat x",
+         "siam e x", "kite e x"],
+        table_rows,
+        title="Scaling: WL5 across system sizes (ratios vs Floret)",
+    ))
+    # Floret keeps winning at every size.
+    for size, archs in by_size.items():
+        assert (
+            archs["siam"].packet_latency
+            >= archs["floret"].packet_latency * 0.98
+        )
+        assert archs["kite"].packet_latency > archs["floret"].packet_latency
+        assert archs["kite"].noi_energy_pj > archs["floret"].noi_energy_pj

@@ -1,0 +1,38 @@
+"""Fig. 2(a): router-port configuration for Kite, SIAM, SWAP and Floret.
+
+The paper's signature: Kite is dominated by 4-port routers, SIAM (mesh)
+by 3- and 4-port routers, SWAP by 2- and 3-port routers, and Floret by
+2-port routers (only heads/tails have more).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import exp_fig2a, format_table
+
+
+def test_fig2a_router_ports(benchmark):
+    hists = run_once(benchmark, exp_fig2a)
+    ports = sorted({p for h in hists.values() for p in h})
+    table = format_table(
+        ["arch"] + [f"{p}-port" for p in ports],
+        [
+            [arch] + [hists[arch].get(p, 0) for p in ports]
+            for arch in ("kite", "siam", "swap", "floret")
+        ],
+        title="Fig. 2(a): router-port histogram, 100 chiplets",
+    )
+    print()
+    print(table)
+
+    def dominant(arch):
+        return max(hists[arch], key=hists[arch].get)
+
+    assert dominant("kite") == 4
+    assert dominant("siam") in (3, 4)
+    assert dominant("swap") in (2, 3)
+    assert dominant("floret") == 2
+    # Floret: the overwhelming majority of routers are 2-port.
+    floret = hists["floret"]
+    assert floret[2] >= 0.85 * sum(floret.values())

@@ -1,0 +1,39 @@
+"""Fig. 2(b): total link counts (and length census) per architecture.
+
+Paper ordering at 100 chiplets: Kite has the most links (torus, 200),
+then SIAM (mesh, 180), then SWAP (small-world, sparse), and Floret the
+fewest (chain + sparse top-level); Floret's links are almost all
+single-hop.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import exp_fig2b, format_table
+
+
+def test_fig2b_links(benchmark):
+    summaries = run_once(benchmark, exp_fig2b)
+    table = format_table(
+        ["arch", "links", "mean ports", "total len (mm)",
+         "1-hop frac", "bisection", "area (mm^2)"],
+        [
+            (
+                s.name,
+                s.num_links,
+                s.mean_ports,
+                s.total_link_length_mm,
+                s.fraction_single_hop_links(),
+                s.bisection_links,
+                s.noi_area_mm2,
+            )
+            for s in summaries.values()
+        ],
+        title="Fig. 2(b): link structure, 100 chiplets",
+    )
+    print()
+    print(table)
+    links = {name: s.num_links for name, s in summaries.items()}
+    assert links["kite"] > links["siam"] > links["swap"] > links["floret"]
+    assert summaries["floret"].fraction_single_hop_links() > 0.9

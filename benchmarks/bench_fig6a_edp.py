@@ -1,0 +1,38 @@
+"""Fig. 6(a): EDP, Floret-3D vs joint performance-thermal mapping.
+
+Paper: the performance-only Floret-3D mapping has ~9% better (lower)
+EDP on average, since the joint design trades some locality for thermal
+spread.  Our MOO finds joint mappings within the 10% EDP budget, so the
+Floret EDP advantage is bounded by that budget.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.eval import exp_fig6, format_table
+
+
+def test_fig6a_edp(benchmark):
+    rows = run_once(benchmark, exp_fig6)
+    table = format_table(
+        ["dnn", "model", "floret EDP", "joint EDP", "floret/joint"],
+        [
+            (r.dnn_id, r.model_name, r.floret_edp, r.joint_edp,
+             r.edp_advantage)
+            for r in rows
+        ],
+        title="Fig. 6(a): EDP (pJ x cycles), 100-PE 3D system",
+        float_format="{:.3e}",
+    )
+    print()
+    print(table)
+    mean_adv = statistics.mean(r.edp_advantage for r in rows)
+    print(f"\nmean floret/joint EDP: {mean_adv:.3f} (paper ~0.91)")
+    for r in rows:
+        # Performance-only mapping never has worse EDP than the joint
+        # design, and the joint design stays within the 10% EDP budget.
+        assert r.floret_edp <= r.joint_edp * 1.001
+        assert r.joint_edp <= r.floret_edp * 1.11

@@ -1,0 +1,37 @@
+"""Fig. 6(b): peak temperature, Floret-3D vs joint mapping.
+
+Paper: performance-only mapping runs ~13 K hotter on average across
+DNN1-DNN5 on the 100-PE 3D system.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.eval import exp_fig6, format_table
+
+
+def test_fig6b_peak_temperature(benchmark):
+    rows = run_once(benchmark, exp_fig6)
+    table = format_table(
+        ["dnn", "model", "floret peak (K)", "joint peak (K)", "delta (K)"],
+        [
+            (r.dnn_id, r.model_name, r.floret_peak_k, r.joint_peak_k,
+             r.peak_delta_k)
+            for r in rows
+        ],
+        title="Fig. 6(b): peak temperature, 100-PE 3D system",
+        float_format="{:.1f}",
+    )
+    print()
+    print(table)
+    mean_delta = statistics.mean(r.peak_delta_k for r in rows)
+    print(f"\nmean peak-temperature delta: {mean_delta:.1f} K (paper ~13 K)")
+    for r in rows:
+        assert r.peak_delta_k >= 0.0, "joint design must not be hotter"
+    # Meaningful cooling on average (paper: 13 K).
+    assert mean_delta > 4.0
+    # The deepest model benefits visibly.
+    assert max(r.peak_delta_k for r in rows) > 8.0

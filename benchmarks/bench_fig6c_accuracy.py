@@ -1,0 +1,35 @@
+"""Fig. 6(c): inference-accuracy impact of thermal noise.
+
+Paper: thermal noise degrades DNN inference accuracy by up to 11% under
+the performance-only Floret-3D mapping; the joint design recovers most
+of it.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import exp_fig6, format_table
+
+
+def test_fig6c_accuracy(benchmark):
+    rows = run_once(benchmark, exp_fig6)
+    table = format_table(
+        ["dnn", "model", "floret drop (pp)", "joint drop (pp)"],
+        [
+            (r.dnn_id, r.model_name, r.floret_accuracy_drop_pct,
+             r.joint_accuracy_drop_pct)
+            for r in rows
+        ],
+        title="Fig. 6(c): accuracy degradation from thermal noise",
+        float_format="{:.1f}",
+    )
+    print()
+    print(table)
+    worst = max(r.floret_accuracy_drop_pct for r in rows)
+    print(f"\nworst Floret-3D accuracy drop: {worst:.1f} pp (paper: up to 11%)")
+    for r in rows:
+        # The joint design never degrades accuracy more than Floret-3D.
+        assert r.joint_accuracy_drop_pct <= r.floret_accuracy_drop_pct + 1e-9
+    # Double-digit degradation appears somewhere, as the paper reports.
+    assert worst > 5.0

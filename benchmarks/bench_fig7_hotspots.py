@@ -1,0 +1,32 @@
+"""Fig. 7: bottom-tier thermal hotspots, ResNet-34 on 100 PEs.
+
+Paper: performance-only (Floret) mapping shows ~17 K higher peak
+temperature and more hotspots on the bottom tier than the joint
+performance-thermal mapping.  The benchmark prints side-by-side ASCII
+heat maps on a shared temperature scale.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import exp_fig7
+from repro.thermal import render_tier_ascii
+
+
+def test_fig7_hotspots(benchmark):
+    result = run_once(benchmark, exp_fig7)
+    low = min(result.joint_map.min(), result.floret_map.min())
+    high = max(result.joint_map.max(), result.floret_map.max())
+    print()
+    print("Fig. 7: bottom-tier heat maps (shared scale "
+          f"{low:.1f}..{high:.1f} K; darker = hotter)")
+    print(f"\n(a) Floret-3D, peak {result.floret.peak_k:.1f} K, "
+          f"{result.floret.hotspot_pes} hotspot PEs:")
+    print(render_tier_ascii(result.floret_map, low_k=low, high_k=high))
+    print(f"\n(b) joint perf-thermal, peak {result.joint.peak_k:.1f} K, "
+          f"{result.joint.hotspot_pes} hotspot PEs:")
+    print(render_tier_ascii(result.joint_map, low_k=low, high_k=high))
+    print(f"\npeak delta: {result.peak_delta_k:.1f} K (paper ~17 K)")
+    assert result.peak_delta_k > 4.0
+    assert result.floret.hotspot_pes >= result.joint.hotspot_pes

@@ -1,0 +1,57 @@
+"""Cross-check: analytic latency model vs packet-level simulation.
+
+The analytic model (Fig. 3/5 numbers) ignores queueing; the
+discrete-event simulator routes every packet with FIFO link contention.
+This bench validates that the two agree on uncongested traffic and that
+contention only increases latency -- i.e. the analytic numbers are a
+sound lower bound with matching architecture ordering.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.floret import build_floret
+from repro.eval import format_table
+from repro.net import simulate_transfers, transfer_latency_cycles
+from repro.noi import build_kite, build_mesh
+
+
+def _crosscheck():
+    rows = []
+    for name, topo in (
+        ("floret", build_floret(36, 4).topology),
+        ("siam", build_mesh(36)),
+        ("kite", build_kite(36)),
+    ):
+        # A contiguous layer-chain traffic pattern: i -> i+1 transfers.
+        transfers = [(i, i + 1, 512) for i in range(0, 30, 2)]
+        analytic = sum(
+            transfer_latency_cycles(topo, s, d, b) for s, d, b in transfers
+        )
+        sim = simulate_transfers(topo, transfers)
+        sim_total = sum(sim.message_completion.values())
+        rows.append((name, analytic, sim_total,
+                     sim.mean_packet_latency))
+    return rows
+
+
+def test_simulator_crosscheck(benchmark):
+    rows = run_once(benchmark, _crosscheck)
+    table = format_table(
+        ["arch", "analytic total (cyc)", "simulated total (cyc)",
+         "sim mean pkt (cyc)"],
+        rows,
+        title="Analytic vs simulated latency, disjoint chain traffic",
+    )
+    print()
+    print(table)
+    for name, analytic, sim_total, _mean in rows:
+        # Disjoint single-hop-ish transfers: simulation should be close
+        # to the analytic value and never below it by more than rounding.
+        assert sim_total >= 0.9 * analytic
+        assert sim_total <= 2.0 * analytic, f"{name} diverged"
+    # Architecture ordering agrees between the two models.
+    analytic_order = sorted(rows, key=lambda r: r[1])
+    sim_order = sorted(rows, key=lambda r: r[2])
+    assert [r[0] for r in analytic_order] == [r[0] for r in sim_order]

@@ -1,0 +1,39 @@
+"""Table I: the 13 DNN inference workloads and their parameter counts.
+
+Regenerates the paper's Table I from the model zoo's exact shape
+inference and prints paper-reported vs measured parameter counts.
+The CIFAR-10 rows match the paper within ~3%; several ImageNet rows in
+the paper's printed table are internally inconsistent (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import exp_table1, format_table
+
+
+def test_table1_workloads(benchmark):
+    rows = run_once(benchmark, exp_table1)
+    assert len(rows) == 13
+    table = format_table(
+        ["id", "model", "dataset", "paper (M)", "measured (M)"],
+        [
+            (r.dnn_id, r.model_name, r.dataset,
+             r.paper_params_millions, r.measured_params_millions)
+            for r in rows
+        ],
+        title="Table I: DNN inference workloads",
+    )
+    print()
+    print(table)
+    # CIFAR rows must match the paper closely (they are consistent).
+    by_id = {r.dnn_id: r for r in rows}
+    for dnn_id in ("DNN9", "DNN10", "DNN11", "DNN12", "DNN13"):
+        row = by_id[dnn_id]
+        assert (
+            abs(row.measured_params_millions - row.paper_params_millions)
+            / row.paper_params_millions
+            < 0.05
+        )

@@ -1,0 +1,26 @@
+"""Table II: concurrent DNN task mixes for the 100-chiplet system."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval import exp_table2, format_table
+
+
+def test_table2_taskmixes(benchmark):
+    rows = run_once(benchmark, exp_table2)
+    assert len(rows) == 5
+    table = format_table(
+        ["mix", "tasks", "paper total (B)", "measured total (B)"],
+        [
+            (r.mix_name, r.num_tasks, r.paper_total_params_billions,
+             r.measured_total_params_billions)
+            for r in rows
+        ],
+        title="Table II: concurrent DNN task mixes",
+    )
+    print()
+    print(table)
+    for row in rows:
+        assert row.num_tasks > 0
+        assert row.measured_total_params_billions > 0

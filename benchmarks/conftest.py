@@ -1,0 +1,17 @@
+"""Shared benchmark configuration.
+
+Heavy experiment drivers are timed with a single round (they are
+deterministic end-to-end system evaluations, not microbenchmarks), and
+each benchmark prints the regenerated table/figure rows so the paper
+comparison is visible in the benchmark log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with one warm round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Datacenter-scale concurrent inference: Floret vs baseline NoIs.
+
+Reproduces the paper's Section II evaluation loop on one Table II mix:
+schedule a queue of concurrent DNN inference tasks on the 100-chiplet
+system under four interconnects (Floret, SIAM mesh, Kite torus, SWAP
+small-world) and compare NoI latency, energy and utilisation.
+
+Run:  python examples/datacenter_inference.py [WL1..WL5]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ContiguousMapper, GreedyMapper, SystemScheduler
+from repro.core.floret import build_floret
+from repro.eval.report import format_table
+from repro.noi import build_kite, build_mesh, build_swap
+from repro.workloads import mix_by_name
+
+
+def main() -> None:
+    mix_name = sys.argv[1] if len(sys.argv) > 1 else "WL1"
+    mix = mix_by_name(mix_name)
+    tasks = mix.tasks()
+    print(f"Mix {mix.name}: {mix.num_tasks} concurrent DNN tasks, "
+          f"{mix.total_params_billions():.2f}B parameters total\n")
+
+    design = build_floret(100, 6)
+    systems = [
+        ("floret", design.topology,
+         ContiguousMapper(design.allocation_order, design.topology)),
+        ("siam", build_mesh(100), None),
+        ("kite", build_kite(100), None),
+        ("swap", build_swap(100), None),
+    ]
+
+    rows = []
+    results = {}
+    for name, topology, mapper in systems:
+        if mapper is None:
+            mapper = GreedyMapper(topology)
+        result = SystemScheduler(topology, mapper).run(tasks)
+        results[name] = result
+        rows.append(
+            (
+                name,
+                result.mean_packet_latency,
+                result.total_noi_energy_pj / 1e6,
+                result.utilization,
+                result.makespan_cycles,
+            )
+        )
+    print(format_table(
+        ["arch", "pkt latency (cyc)", "NoI energy (uJ)",
+         "utilization", "makespan (cyc)"],
+        rows,
+        title=f"{mix.name} on 100 chiplets",
+    ))
+
+    base = results["floret"]
+    print("\nNormalised to Floret (paper Figs. 3 and 5):")
+    for name in ("siam", "kite", "swap"):
+        r = results[name]
+        print(f"  {name:>6s}: latency "
+              f"{r.mean_packet_latency / base.mean_packet_latency:.2f}x, "
+              f"energy "
+              f"{r.total_noi_energy_pj / base.total_noi_energy_pj:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: build a Floret NoI, map a DNN, read out performance.
+
+Walks the library's core loop in five steps:
+
+1. build the 100-chiplet, 6-petal Floret NoI (the paper's system),
+2. pick a workload from the Table I zoo,
+3. plan its chiplet allocation on ReRAM PIM chiplets,
+4. map it contiguously along the space-filling curve, and
+5. evaluate latency / energy / hops on the NoI.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ContiguousMapper, build_floret
+from repro.net import evaluate_task
+from repro.pim import ChipletSpec, plan_allocation
+from repro.workloads import build_model
+
+
+def main() -> None:
+    # 1. The NoI: 100 chiplets stitched into six SFC petals.
+    design = build_floret(num_chiplets=100, petals=6)
+    topology = design.topology
+    print(f"Floret NoI: {topology.num_chiplets} chiplets, "
+          f"{topology.num_links} links, "
+          f"router ports {topology.port_histogram()}")
+    print(f"Eq. (1) mean tail->head distance d = "
+          f"{design.curve.eq1_distance:.2f} grid hops")
+
+    # 2. A workload from the paper's Table I.
+    model = build_model("resnet50", "imagenet")
+    print(f"\nWorkload: {model.name} ({model.params_millions():.1f}M "
+          f"params, {len(model.weight_layers())} weighted layers)")
+
+    # 3. Pack the layers into ReRAM chiplet loads.
+    spec = ChipletSpec.from_params()
+    plan = plan_allocation(model, spec)
+    print(f"Allocation: {plan.num_chiplets} chiplets "
+          f"({spec.weight_capacity / 1e6:.1f}M weights each)")
+
+    # 4. Dataflow-aware mapping: consecutive layers on adjacent chiplets.
+    mapper = ContiguousMapper(design.allocation_order, topology)
+    placement = mapper.map_task(
+        "demo", model, plan, frozenset(range(topology.num_chiplets))
+    )
+    assert placement is not None
+    print(f"Mapped to chiplets {placement.chiplet_ids[:8]}... "
+          f"(max adjacent hops: "
+          f"{placement.max_adjacent_hops(topology)})")
+
+    # 5. Evaluate.
+    perf = evaluate_task(
+        topology, model, plan, placement.chiplet_ids,
+        task_id="demo", spec=spec,
+    )
+    print(f"\nInference latency : {perf.latency_cycles:,} cycles")
+    print(f"NoI latency       : {perf.noi_latency_cycles:,} cycles")
+    print(f"NoI energy        : {perf.noi_energy_pj / 1e6:.2f} uJ")
+    print(f"Compute energy    : {perf.compute_energy_pj / 1e6:.2f} uJ")
+    print(f"Mean packet lat.  : {perf.mean_packet_latency:.1f} cycles")
+    print(f"Traffic-weighted hops: {perf.weighted_hops:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro: dataflow-aware PIM-enabled manycore architectures for DL.
+
+Reproduction of Sharma et al., "Dataflow-Aware PIM-Enabled Manycore
+Architecture for Deep Learning Workloads" (DATE 2024).
+
+Quickstart::
+
+    from repro import build_floret, ContiguousMapper, SystemScheduler
+    from repro.workloads import mix_by_name
+
+    design = build_floret(num_chiplets=100, petals=6)
+    mapper = ContiguousMapper(design.allocation_order, design.topology)
+    scheduler = SystemScheduler(design.topology, mapper)
+    result = scheduler.run(mix_by_name("WL1").tasks())
+    print(result.mean_packet_latency, result.utilization)
+
+Packages:
+
+* :mod:`repro.core` -- SFC generation, the Floret NoI, dataflow mapping,
+  the multi-task scheduler, and the joint performance-thermal MOO.
+* :mod:`repro.workloads` -- DNN/Transformer workload models (Tables I-II).
+* :mod:`repro.noi` -- baseline NoI topologies (SIAM mesh, Kite, SWAP).
+* :mod:`repro.noc3d` -- 3D stacked PE grids and the 3D SFC NoC.
+* :mod:`repro.pim` -- ReRAM crossbar/chiplet models and thermal accuracy.
+* :mod:`repro.net` -- analytic interconnect models + packet simulator.
+* :mod:`repro.thermal` -- finite-difference thermal solver, hotspots.
+* :mod:`repro.cost` -- fabrication-cost model (paper Eqs. (2)-(5)).
+* :mod:`repro.eval` -- per-figure experiment drivers.
+"""
+
+from .core import (
+    ContiguousMapper,
+    FloretDesign,
+    GreedyMapper,
+    MappingProblem,
+    MOOResult,
+    ScheduleResult,
+    SystemScheduler,
+    TaskPlacement,
+    build_floret,
+    optimize_mapping,
+)
+from .params import (
+    DEFAULT_PARAMS,
+    CostParams,
+    NoIParams,
+    PIMParams,
+    SystemParams,
+    ThermalParams,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContiguousMapper",
+    "CostParams",
+    "DEFAULT_PARAMS",
+    "FloretDesign",
+    "GreedyMapper",
+    "MOOResult",
+    "MappingProblem",
+    "NoIParams",
+    "PIMParams",
+    "ScheduleResult",
+    "SystemParams",
+    "SystemScheduler",
+    "TaskPlacement",
+    "ThermalParams",
+    "build_floret",
+    "optimize_mapping",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: SFC NoI design, mapping, MOO."""
+
+from .floret import DEFAULT_TOP_LEVEL_MAX_HOPS, FloretDesign, build_floret
+from .mapping import ContiguousMapper, GreedyMapper, Mapper, TaskPlacement
+from .moo import (
+    MappingCandidate,
+    MappingProblem,
+    MOOResult,
+    optimize_mapping,
+)
+from .scheduler import ScheduledTask, ScheduleResult, SystemScheduler
+from .sfc import (
+    FloretCurve,
+    SFCSegment,
+    build_floret_curve,
+    eq1_mean_tail_head_distance,
+    hilbert_order,
+    is_contiguous_path,
+    manhattan,
+    partition_grid_blocks,
+    serpentine_order,
+    single_sfc_curve,
+)
+
+__all__ = [
+    "ContiguousMapper",
+    "DEFAULT_TOP_LEVEL_MAX_HOPS",
+    "FloretCurve",
+    "FloretDesign",
+    "GreedyMapper",
+    "Mapper",
+    "MappingCandidate",
+    "MappingProblem",
+    "MOOResult",
+    "SFCSegment",
+    "ScheduleResult",
+    "ScheduledTask",
+    "SystemScheduler",
+    "TaskPlacement",
+    "build_floret",
+    "build_floret_curve",
+    "eq1_mean_tail_head_distance",
+    "hilbert_order",
+    "is_contiguous_path",
+    "manhattan",
+    "optimize_mapping",
+    "partition_grid_blocks",
+    "serpentine_order",
+    "single_sfc_curve",
+]

@@ -1,0 +1,213 @@
+"""Heterogeneous transformer acceleration (paper Section IV).
+
+The paper's closing argument: end-to-end Transformers need *both* a
+dataflow-aware PIM macro (for the static projection/FF weights, mapped
+along an SFC exactly like DNN layers) and non-PIM modules (tensor cores
+with SRAM buffers) for the dynamic activation-x-activation attention
+matmuls -- because mapping those on NVM crossbars would mean rewriting
+cells every inference, and ReRAM write endurance makes that fatal.
+
+This module quantifies that design point:
+
+* :func:`evaluate_pim_only` -- all kernels on ReRAM crossbars, paying
+  write latency/energy for every dynamic operand and consuming write
+  endurance;
+* :func:`evaluate_heterogeneous` -- static kernels on the SFC PIM macro,
+  dynamic matmuls on tensor-core islands, with NoI transfers between the
+  two domains.
+
+Both return a :class:`HeteroReport`; the benchmark compares latency,
+energy and device lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..params import PIMParams
+from ..pim.chiplet import ChipletSpec
+from ..pim.reram import CrossbarSpec
+from ..workloads.transformer import (
+    KernelClass,
+    TransformerConfig,
+    encoder_kernels,
+)
+
+
+@dataclass(frozen=True)
+class HeteroParams:
+    """Hardware constants of the heterogeneous system."""
+
+    #: Tensor-core MACs per cycle (per island).
+    tc_macs_per_cycle: int = 2048
+
+    #: Tensor-core energy per MAC, pJ.
+    tc_energy_pj_per_mac: float = 0.08
+
+    #: Tensor-core islands available.
+    tc_islands: int = 4
+
+    #: ReRAM cell write latency, cycles per (parallel) row write of a
+    #: crossbar.
+    reram_write_cycles_per_row: int = 500
+
+    #: ReRAM write energy per cell, pJ.
+    reram_write_energy_pj_per_cell: float = 8.0
+
+    #: ReRAM write endurance, writes per cell before wear-out.
+    reram_endurance_writes: float = 1e8
+
+    #: NoI transfer cost between the PIM macro and tensor-core islands,
+    #: cycles per byte (amortised link bandwidth incl. hops).
+    crossing_cycles_per_byte: float = 0.05
+
+    #: NoI transfer energy between domains, pJ per byte.
+    crossing_energy_pj_per_byte: float = 1.2
+
+
+@dataclass(frozen=True)
+class HeteroReport:
+    """Evaluation of one encoder stack on one system style."""
+
+    system: str
+    config_name: str
+    latency_cycles: int
+    compute_energy_pj: float
+    write_energy_pj: float
+    crossing_energy_pj: float
+    cell_writes_per_inference: float
+
+    @property
+    def total_energy_pj(self) -> float:
+        return (
+            self.compute_energy_pj
+            + self.write_energy_pj
+            + self.crossing_energy_pj
+        )
+
+    def lifetime_inferences(self, params: Optional[HeteroParams] = None) -> float:
+        """Inferences until the most-rewritten cells wear out."""
+        params = params or HeteroParams()
+        if self.cell_writes_per_inference == 0:
+            return float("inf")
+        return params.reram_endurance_writes / (
+            self.cell_writes_per_inference
+        )
+
+
+def _pim_mvm_cost(macs: int, spec: CrossbarSpec) -> tuple:
+    """(cycles, energy_pj) for running ``macs`` on resident crossbars.
+
+    Assumes enough crossbars for full-weight residency with moderate
+    replication (16 parallel arrays), matching the DNN-side model.
+    """
+    if macs <= 0:
+        return 0, 0.0
+    mvms = -(-macs // spec.macs_per_mvm)
+    parallel = 16
+    rounds = -(-mvms // parallel)
+    return rounds * spec.latency_cycles, mvms * spec.energy_pj
+
+
+def evaluate_pim_only(
+    cfg: TransformerConfig,
+    *,
+    params: Optional[HeteroParams] = None,
+    pim: Optional[PIMParams] = None,
+) -> HeteroReport:
+    """All kernels on ReRAM PIM: dynamic operands are written per inference.
+
+    For each dynamic matmul the stationary activation operand must be
+    programmed into crossbars before the MVMs can run: the write latency
+    serialises with compute, each written cell costs write energy, and
+    each written cell consumes one endurance cycle.
+    """
+    params = params or HeteroParams()
+    pim = pim or PIMParams()
+    spec = CrossbarSpec.from_params(pim)
+    cells_per_element = pim.cells_per_weight
+
+    latency = 0
+    compute_energy = 0.0
+    write_energy = 0.0
+    cell_writes = 0.0
+    for kernel in encoder_kernels(cfg):
+        cycles, energy = _pim_mvm_cost(kernel.macs, spec)
+        latency += cycles
+        compute_energy += energy
+        if kernel.kind is KernelClass.DYNAMIC_MATMUL:
+            # Stationary operand elements -> cells to (re)program.
+            cells = kernel.intermediate_elements * cells_per_element
+            rows_to_write = -(-cells // spec.cols)
+            latency += rows_to_write * params.reram_write_cycles_per_row
+            write_energy += cells * params.reram_write_energy_pj_per_cell
+            cell_writes += cells
+    return HeteroReport(
+        system="pim-only",
+        config_name=cfg.name,
+        latency_cycles=latency * cfg.num_layers,
+        compute_energy_pj=compute_energy * cfg.num_layers,
+        write_energy_pj=write_energy * cfg.num_layers,
+        crossing_energy_pj=0.0,
+        cell_writes_per_inference=cell_writes * cfg.num_layers,
+    )
+
+
+def evaluate_heterogeneous(
+    cfg: TransformerConfig,
+    *,
+    params: Optional[HeteroParams] = None,
+    pim: Optional[PIMParams] = None,
+) -> HeteroReport:
+    """Static kernels on the SFC PIM macro, dynamic ones on tensor cores.
+
+    Activations cross the NoI twice per attention block (into the
+    tensor-core island before ``Q.K^T``, back to the PIM macro after
+    ``A.V``); crossings are charged per byte.
+    """
+    params = params or HeteroParams()
+    pim = pim or PIMParams()
+    spec = CrossbarSpec.from_params(pim)
+    bytes_per_element = pim.activation_bits // 8 or 1
+
+    latency = 0
+    compute_energy = 0.0
+    crossing_energy = 0.0
+    tc_rate = params.tc_macs_per_cycle * params.tc_islands
+    # Domain-crossing payloads: Q, K, V into the island; attention output
+    # back -- each L x d_model activations.
+    crossing_elements = 4 * cfg.seq_len * cfg.d_model
+    for kernel in encoder_kernels(cfg):
+        if kernel.kind is KernelClass.STATIC_WEIGHT:
+            cycles, energy = _pim_mvm_cost(kernel.macs, spec)
+            latency += cycles
+            compute_energy += energy
+        elif kernel.kind is KernelClass.DYNAMIC_MATMUL:
+            cycles = -(-kernel.macs // tc_rate)
+            latency += cycles
+            compute_energy += kernel.macs * params.tc_energy_pj_per_mac
+    crossing_bytes = crossing_elements * bytes_per_element
+    latency += int(crossing_bytes * params.crossing_cycles_per_byte)
+    crossing_energy += crossing_bytes * params.crossing_energy_pj_per_byte
+    return HeteroReport(
+        system="heterogeneous",
+        config_name=cfg.name,
+        latency_cycles=latency * cfg.num_layers,
+        compute_energy_pj=compute_energy * cfg.num_layers,
+        write_energy_pj=0.0,
+        crossing_energy_pj=crossing_energy * cfg.num_layers,
+        cell_writes_per_inference=0.0,
+    )
+
+
+def compare_systems(
+    cfg: TransformerConfig,
+    *,
+    params: Optional[HeteroParams] = None,
+) -> Dict[str, HeteroReport]:
+    """Evaluate both system styles for one configuration."""
+    return {
+        "pim-only": evaluate_pim_only(cfg, params=params),
+        "heterogeneous": evaluate_heterogeneous(cfg, params=params),
+    }

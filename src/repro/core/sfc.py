@@ -1,0 +1,380 @@
+"""Space-filling-curve (SFC) generation and head/tail placement (Eq. (1)).
+
+The Floret NoI stitches chiplets along multiple SFC "petals".  This module
+provides:
+
+* primitive curve orders over a grid (serpentine / boustrophedon, Hilbert),
+* partitioning of a grid into contiguous regions, one per petal,
+* per-petal serpentine paths whose *orientation* (start corner, axis) is a
+  free variable, and
+* the head/tail placement optimiser that picks orientations minimising the
+  paper's Eq. (1): the mean Manhattan distance from each petal's tail to
+  every other petal's head,
+
+      d = (1 / (lambda^2 - lambda)) * sum_{i != j} ||t_i - h_j||_1 .
+
+Petal paths are genuinely contiguous: consecutive cells are always grid
+neighbours, which is what makes every intra-petal link single-hop in the
+Floret topology (paper Fig. 2 discussion).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Cell = Tuple[int, int]
+
+
+# ---------------------------------------------------------------------------
+# primitive curves
+
+
+def serpentine_order(cols: int, rows: int, *, column_major: bool = False,
+                     flip_x: bool = False, flip_y: bool = False) -> List[Cell]:
+    """Boustrophedon order over a ``cols x rows`` grid.
+
+    The eight combinations of ``column_major`` / ``flip_x`` / ``flip_y``
+    give the eight symmetries of the serpentine; all are contiguous paths.
+    """
+    if cols <= 0 or rows <= 0:
+        raise ValueError("grid dimensions must be positive")
+    cells: List[Cell] = []
+    if column_major:
+        for x in range(cols):
+            ys = range(rows) if x % 2 == 0 else range(rows - 1, -1, -1)
+            cells.extend((x, y) for y in ys)
+    else:
+        for y in range(rows):
+            xs = range(cols) if y % 2 == 0 else range(cols - 1, -1, -1)
+            cells.extend((x, y) for x in xs)
+    if flip_x:
+        cells = [(cols - 1 - x, y) for x, y in cells]
+    if flip_y:
+        cells = [(x, rows - 1 - y) for x, y in cells]
+    return cells
+
+
+def hilbert_order(order: int) -> List[Cell]:
+    """Hilbert curve over a ``2^order x 2^order`` grid.
+
+    Used by the SFC-family ablation benchmark; the classic d->(x, y)
+    bit-twiddling construction.
+    """
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    n = 1 << order
+    cells: List[Cell] = []
+    for d in range(n * n):
+        rx = ry = 0
+        x = y = 0
+        t = d
+        s = 1
+        while s < n:
+            rx = 1 & (t // 2)
+            ry = 1 & (t ^ rx)
+            if ry == 0:
+                if rx == 1:
+                    x = s - 1 - x
+                    y = s - 1 - y
+                x, y = y, x
+            x += s * rx
+            y += s * ry
+            t //= 4
+            s *= 2
+        cells.append((x, y))
+    return cells
+
+
+def is_contiguous_path(cells: Sequence[Cell]) -> bool:
+    """True when every consecutive pair of cells are 4-neighbours."""
+    return all(
+        abs(ax - bx) + abs(ay - by) == 1
+        for (ax, ay), (bx, by) in zip(cells, cells[1:])
+    )
+
+
+# ---------------------------------------------------------------------------
+# petals
+
+
+@dataclass(frozen=True)
+class SFCSegment:
+    """One petal: a contiguous path of cells with a head and a tail.
+
+    The head is the mapping entry point (first chiplet that receives a
+    task's first neural layer); the tail is the exit point that talks to
+    other petals' heads via the top-level network.
+    """
+
+    petal_id: int
+    cells: Tuple[Cell, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError(f"petal {self.petal_id}: empty")
+        if len(set(self.cells)) != len(self.cells):
+            raise ValueError(f"petal {self.petal_id}: repeated cells")
+        if not is_contiguous_path(self.cells):
+            raise ValueError(f"petal {self.petal_id}: path not contiguous")
+
+    @property
+    def head(self) -> Cell:
+        return self.cells[0]
+
+    @property
+    def tail(self) -> Cell:
+        return self.cells[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.cells)
+
+    def reversed(self) -> "SFCSegment":
+        """Same petal walked tail-first (head and tail swap)."""
+        return SFCSegment(self.petal_id, tuple(reversed(self.cells)))
+
+
+def manhattan(a: Cell, b: Cell) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def eq1_mean_tail_head_distance(segments: Sequence[SFCSegment]) -> float:
+    """The paper's Eq. (1) objective over a petal set.
+
+    Mean Manhattan distance from the tail of petal *i* to the head of
+    petal *j* over all ordered pairs with ``i != j``.  Returns 0.0 for a
+    single petal (no inter-petal hops exist).
+    """
+    n = len(segments)
+    if n < 2:
+        return 0.0
+    total = sum(
+        manhattan(si.tail, sj.head)
+        for si in segments
+        for sj in segments
+        if si.petal_id != sj.petal_id
+    )
+    return total / (n * n - n)
+
+
+# ---------------------------------------------------------------------------
+# grid partitioning
+
+
+def partition_grid_blocks(cols: int, rows: int, petals: int) -> List[List[Cell]]:
+    """Split a grid into ``petals`` rectangular column-band regions.
+
+    Bands are vertical slices of near-equal width for a wide factor split,
+    arranged block-style when ``petals`` factors nicely (e.g. 6 petals on
+    a 10x10 grid become a 3x2 block arrangement, mirroring the paper's
+    Fig. 1 six-petal layout).  Every region is a rectangle, so a serpentine
+    within it is always a valid contiguous path.
+    """
+    if petals <= 0:
+        raise ValueError("need at least one petal")
+    if petals > cols * rows:
+        raise ValueError(f"{petals} petals > {cols * rows} cells")
+
+    # Choose a bx x by block arrangement with bx*by == petals, as square
+    # as the grid allows.
+    best: Optional[Tuple[int, int]] = None
+    for bx in range(1, petals + 1):
+        if petals % bx:
+            continue
+        by = petals // bx
+        if bx > cols or by > rows:
+            continue
+        aspect = abs((cols / bx) - (rows / by))
+        if best is None or aspect < best[0]:
+            best = (aspect, bx, by)  # type: ignore[assignment]
+    if best is None:
+        raise ValueError(
+            f"cannot arrange {petals} petals on a {cols}x{rows} grid"
+        )
+    _, bx, by = best  # type: ignore[misc]
+
+    regions: List[List[Cell]] = []
+    y_edges = _split_even(rows, by)
+    x_edges = _split_even(cols, bx)
+    for j in range(by):
+        y0, y1 = y_edges[j], y_edges[j + 1]
+        for i in range(bx):
+            x0, x1 = x_edges[i], x_edges[i + 1]
+            regions.append(
+                [(x, y) for y in range(y0, y1) for x in range(x0, x1)]
+            )
+    return regions
+
+
+def _split_even(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` pieces, preferring even piece sizes.
+
+    Even-width regions let a column-major serpentine start and end on the
+    same row, so a petal's head and tail can both face the grid centre --
+    the flower-like layout of the paper's Fig. 1.  Returns the cumulative
+    edge positions (length ``parts + 1``).
+    """
+    if parts > total:
+        raise ValueError(f"cannot split {total} into {parts} non-empty parts")
+    base = total // parts
+    sizes = [base] * parts
+    remainder = total - base * parts
+    for i in range(remainder):
+        sizes[i] += 1
+    # Shift single units between neighbours to make pieces even where the
+    # budget allows (an odd total keeps exactly one odd piece, at the end).
+    for i in range(parts - 1):
+        if sizes[i] % 2 == 1 and sizes[i + 1] > 1:
+            sizes[i] += 1
+            sizes[i + 1] -= 1
+    sizes = [s for s in sizes if s > 0]
+    while len(sizes) < parts:  # re-balance if a piece emptied out
+        big = max(range(len(sizes)), key=lambda k: sizes[k])
+        if sizes[big] < 2:
+            raise ValueError(f"cannot split {total} into {parts} parts")
+        sizes[big] -= 1
+        sizes.append(1)
+    edges = [0]
+    for s in sizes:
+        edges.append(edges[-1] + s)
+    return edges
+
+
+def _region_serpentine(region: Sequence[Cell], variant: int) -> List[Cell]:
+    """Serpentine through a rectangular region, one of 8 symmetries."""
+    xs = sorted({x for x, _ in region})
+    ys = sorted({y for _, y in region})
+    x0, y0 = xs[0], ys[0]
+    w, h = len(xs), len(ys)
+    if len(region) != w * h:
+        raise ValueError("region is not a full rectangle")
+    column_major = bool(variant & 1)
+    flip_x = bool(variant & 2)
+    flip_y = bool(variant & 4)
+    local = serpentine_order(w, h, column_major=column_major,
+                             flip_x=flip_x, flip_y=flip_y)
+    return [(x0 + x, y0 + y) for x, y in local]
+
+
+# ---------------------------------------------------------------------------
+# head/tail placement optimisation
+
+
+@dataclass(frozen=True)
+class FloretCurve:
+    """A complete multi-petal SFC decomposition of a grid.
+
+    Attributes:
+        cols, rows: Grid dimensions.
+        segments: The petals, in id order.
+        eq1_distance: Achieved Eq. (1) objective value.
+    """
+
+    cols: int
+    rows: int
+    segments: Tuple[SFCSegment, ...]
+    eq1_distance: float
+
+    @property
+    def num_petals(self) -> int:
+        return len(self.segments)
+
+    def all_cells(self) -> List[Cell]:
+        """Every grid cell exactly once, petal by petal."""
+        return [cell for seg in self.segments for cell in seg.cells]
+
+    def visit_order(self) -> List[Cell]:
+        """The global chiplet allocation order used by the mapper.
+
+        Petals are chained greedily: start at the petal whose head is
+        closest to the grid centre, then repeatedly jump from the current
+        tail to the nearest unvisited head -- the runtime behaviour the
+        paper describes for tasks spilling over from one SFC to the next.
+        """
+        if not self.segments:
+            return []
+        centre = ((self.cols - 1) / 2.0, (self.rows - 1) / 2.0)
+
+        def centre_dist(cell: Cell) -> float:
+            return abs(cell[0] - centre[0]) + abs(cell[1] - centre[1])
+
+        remaining = list(self.segments)
+        remaining.sort(key=lambda s: (centre_dist(s.head), s.petal_id))
+        order: List[Cell] = list(remaining[0].cells)
+        current_tail = remaining[0].tail
+        pending = remaining[1:]
+        while pending:
+            nxt = min(
+                pending,
+                key=lambda s: (manhattan(current_tail, s.head), s.petal_id),
+            )
+            pending.remove(nxt)
+            order.extend(nxt.cells)
+            current_tail = nxt.tail
+        return order
+
+
+def build_floret_curve(
+    cols: int,
+    rows: int,
+    petals: int = 6,
+    *,
+    optimize: bool = True,
+) -> FloretCurve:
+    """Partition the grid into petals and optimise head/tail placement.
+
+    Each petal is a serpentine over its rectangular region; the free
+    variables are the 8 serpentine symmetries per petal.  A coordinate-
+    descent search (exact for small petal counts, iterated otherwise)
+    minimises Eq. (1).  With ``optimize=False`` the default variant is
+    used everywhere, which serves as the ablation baseline.
+    """
+    regions = partition_grid_blocks(cols, rows, petals)
+
+    def make_segments(variants: Sequence[int]) -> List[SFCSegment]:
+        return [
+            SFCSegment(pid, tuple(_region_serpentine(region, var)))
+            for pid, (region, var) in enumerate(zip(regions, variants))
+        ]
+
+    if not optimize:
+        segments = make_segments([0] * len(regions))
+        return FloretCurve(cols, rows, tuple(segments),
+                           eq1_mean_tail_head_distance(segments))
+
+    variants = [0] * len(regions)
+    best_segments = make_segments(variants)
+    best_d = eq1_mean_tail_head_distance(best_segments)
+    improved = True
+    sweeps = 0
+    while improved and sweeps < 8:
+        improved = False
+        sweeps += 1
+        for pid in range(len(regions)):
+            for var in range(8):
+                if var == variants[pid]:
+                    continue
+                trial = list(variants)
+                trial[pid] = var
+                segments = make_segments(trial)
+                d = eq1_mean_tail_head_distance(segments)
+                if d < best_d - 1e-12:
+                    best_d = d
+                    variants = trial
+                    best_segments = segments
+                    improved = True
+    return FloretCurve(cols, rows, tuple(best_segments), best_d)
+
+
+def single_sfc_curve(cols: int, rows: int) -> FloretCurve:
+    """Degenerate one-petal decomposition (monolithic serpentine).
+
+    Used by the redundancy/ablation benchmarks: the paper argues multiple
+    SFCs beat one monolithic SFC because they add inherent redundancy and
+    shorter re-entry paths.
+    """
+    cells = tuple(serpentine_order(cols, rows))
+    seg = SFCSegment(0, cells)
+    return FloretCurve(cols, rows, (seg,), 0.0)

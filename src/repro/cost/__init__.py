@@ -1,0 +1,5 @@
+"""Fabrication-cost models (paper Eqs. (2)-(5))."""
+
+from .fabrication import CostReport, compare_costs, cost_ratio, normalized_cost
+
+__all__ = ["CostReport", "compare_costs", "cost_ratio", "normalized_cost"]

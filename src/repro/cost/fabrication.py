@@ -1,0 +1,103 @@
+"""Fabrication-cost model: the paper's Eqs. (2)-(5).
+
+The NoI dominates 2.5D system area (the paper cites up to 85%), so the
+fabrication cost of the system tracks NoI area through wafer yield: with
+defect density ``delta`` (defects/mm^2), the yield of an area-``A`` part
+falls off exponentially and the normalised cost of an NoI relative to a
+reference system is
+
+    C = (N_ref / N) * exp(delta * (A_noi - A_ref))          (Eq. 2)
+
+so the cost *ratio* of two NoIs on the same chiplet count reduces to the
+difference of their NoI areas (Eq. 5):
+
+    C_a / C_b = exp(delta * (A_a - A_b))
+
+The reference system is AMD's 864 mm^2 / 64-chiplet interposer [1].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..noi.topology import Topology
+from ..params import CostParams
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Fabrication-cost assessment of one NoI."""
+
+    name: str
+    num_chiplets: int
+    noi_area_mm2: float
+    normalized_cost: float
+
+    def relative_to(self, other: "CostReport") -> float:
+        """``self`` cost as a multiple of ``other`` (Eq. 5 style)."""
+        if other.normalized_cost == 0:
+            raise ZeroDivisionError("reference cost is zero")
+        return self.normalized_cost / other.normalized_cost
+
+
+def normalized_cost(
+    topology: Topology, params: Optional[CostParams] = None
+) -> CostReport:
+    """Evaluate Eq. (2) for one NoI.
+
+    ``N_ref / N`` uses chiplet counts (chiplets per wafer scale inversely
+    with system chiplet count at fixed wafer size) and the exponential
+    yield term uses the NoI area difference to the reference NoI area.
+    """
+    params = params or CostParams()
+    area = topology.noi_area_mm2()
+    scale = params.reference_chiplets / topology.num_chiplets
+    cost = scale * math.exp(
+        params.defect_density_per_mm2 * (area - params.reference_noi_area_mm2)
+    )
+    return CostReport(
+        name=topology.name,
+        num_chiplets=topology.num_chiplets,
+        noi_area_mm2=area,
+        normalized_cost=cost,
+    )
+
+
+def cost_ratio(
+    a: Topology, b: Topology, params: Optional[CostParams] = None
+) -> float:
+    """Cost of NoI ``a`` relative to NoI ``b`` (paper Eq. (5)).
+
+    For equal chiplet counts this is
+    ``exp(delta * (A_a - A_b))``; the paper reports Floret cheaper than
+    Kite/SIAM/SWAP by about 2.8x / 2.1x / 1.89x at 100 chiplets.
+    """
+    params = params or CostParams()
+    return normalized_cost(a, params).relative_to(normalized_cost(b, params))
+
+
+def compare_costs(
+    topologies: Sequence[Topology],
+    baseline: str = "floret",
+    params: Optional[CostParams] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Cost table for several NoIs, each relative to ``baseline``.
+
+    Raises:
+        KeyError: If ``baseline`` is not among the topologies.
+    """
+    params = params or CostParams()
+    reports = {t.name: normalized_cost(t, params) for t in topologies}
+    if baseline not in reports:
+        raise KeyError(f"baseline {baseline!r} not in {sorted(reports)}")
+    ref = reports[baseline]
+    return {
+        name: {
+            "noi_area_mm2": r.noi_area_mm2,
+            "normalized_cost": r.normalized_cost,
+            "relative_cost": r.relative_to(ref),
+        }
+        for name, r in reports.items()
+    }

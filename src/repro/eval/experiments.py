@@ -1,0 +1,509 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each ``exp_*`` function regenerates the data behind one table or figure
+of the paper and returns it in a structured form; the ``benchmarks/``
+harness times them and prints the rows.  Heavyweight artefacts
+(topologies, schedules, MOO runs) are cached per process so that a
+benchmark session builds each system exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.floret import FloretDesign, build_floret
+from ..core.mapping import ContiguousMapper, GreedyMapper
+from ..core.moo import MappingProblem, MOOResult, optimize_mapping
+from ..core.scheduler import ScheduleResult, SystemScheduler
+from ..core.sfc import build_floret_curve, single_sfc_curve
+from ..cost.fabrication import compare_costs
+from ..noc3d.grid3d import Floret3DDesign, build_floret_3d
+from ..noi.kite import build_kite
+from ..noi.mesh import build_mesh
+from ..noi.properties import TopologySummary, summarize
+from ..noi.swap import build_swap
+from ..noi.topology import Topology
+from ..pim.accuracy import AccuracyReport, assess
+from ..pim.chiplet import ChipletSpec
+from ..thermal.hotspot import HotspotReport, analyze_tier
+from ..thermal.power import weight_fractions_per_pe
+from ..workloads.tasks import TABLE2_MIXES, TaskMix, mix_by_name
+from ..workloads.traffic import summarize_traffic
+from ..workloads.transformer import (
+    BERT_BASE,
+    BERT_TINY,
+    TransformerConfig,
+    pim_suitability,
+    storage_report,
+)
+from ..workloads.zoo import Table1Row, build_model, table1_model, table1_rows
+
+#: Architectures compared in Section II, in the paper's order.
+BASELINE_ARCHS = ("kite", "siam", "swap")
+ALL_ARCHS = ("floret",) + BASELINE_ARCHS
+
+#: The paper's system size for the 2.5D evaluation.
+NUM_CHIPLETS = 100
+
+#: Petal count of the running Floret example.
+NUM_PETALS = 6
+
+
+# ---------------------------------------------------------------------------
+# cached system builders
+
+
+@lru_cache(maxsize=8)
+def floret_design(num_chiplets: int = NUM_CHIPLETS,
+                  petals: int = NUM_PETALS) -> FloretDesign:
+    return build_floret(num_chiplets, petals)
+
+
+@lru_cache(maxsize=8)
+def baseline_topology(name: str, num_chiplets: int = NUM_CHIPLETS) -> Topology:
+    builders = {
+        "siam": build_mesh,
+        "kite": build_kite,
+        "swap": build_swap,
+    }
+    try:
+        return builders[name](num_chiplets)
+    except KeyError:
+        raise ValueError(f"unknown baseline {name!r}") from None
+
+
+def topology_for(name: str, num_chiplets: int = NUM_CHIPLETS) -> Topology:
+    """Resolve an architecture name to its (cached) topology."""
+    if name == "floret":
+        return floret_design(num_chiplets).topology
+    return baseline_topology(name, num_chiplets)
+
+
+def mapper_for(name: str, num_chiplets: int = NUM_CHIPLETS):
+    """The mapping strategy the paper applies to each architecture."""
+    if name == "floret":
+        design = floret_design(num_chiplets)
+        return ContiguousMapper(design.allocation_order, design.topology)
+    return GreedyMapper(topology_for(name, num_chiplets))
+
+
+@lru_cache(maxsize=64)
+def schedule(arch: str, mix_name: str,
+             num_chiplets: int = NUM_CHIPLETS) -> ScheduleResult:
+    """Run (and cache) one Table II mix on one architecture."""
+    topo = topology_for(arch, num_chiplets)
+    scheduler = SystemScheduler(topo, mapper_for(arch, num_chiplets))
+    return scheduler.run(mix_by_name(mix_name).tasks())
+
+
+@lru_cache(maxsize=4)
+def floret_3d(num_pes: int = 100, tiers: int = 4) -> Floret3DDesign:
+    return build_floret_3d(num_pes, tiers)
+
+
+@lru_cache(maxsize=16)
+def moo_result(dnn_id: str, *, population_size: int = 24,
+               generations: int = 12) -> Tuple[MappingProblem, MOOResult]:
+    """Run (and cache) the Section III MOO for one Table I DNN."""
+    model = table1_model(dnn_id)
+    problem = MappingProblem(floret_3d(), model)
+    result = optimize_mapping(
+        problem, population_size=population_size, generations=generations
+    )
+    return problem, result
+
+
+# ---------------------------------------------------------------------------
+# Tables I and II
+
+
+def exp_table1() -> List[Table1Row]:
+    """Table I: the 13 DNN workloads with parameter counts."""
+    return table1_rows()
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    mix_name: str
+    num_tasks: int
+    paper_total_params_billions: float
+    measured_total_params_billions: float
+
+
+def exp_table2() -> List[Table2Row]:
+    """Table II: concurrent task mixes with total parameters."""
+    return [
+        Table2Row(
+            mix_name=mix.name,
+            num_tasks=mix.num_tasks,
+            paper_total_params_billions=mix.paper_total_params_billions,
+            measured_total_params_billions=mix.total_params_billions(),
+        )
+        for mix in TABLE2_MIXES
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2: router ports and link counts
+
+
+def exp_fig2a(num_chiplets: int = NUM_CHIPLETS) -> Dict[str, Dict[int, int]]:
+    """Fig. 2(a): router-port histogram per architecture."""
+    return {
+        arch: dict(topology_for(arch, num_chiplets).port_histogram())
+        for arch in ALL_ARCHS
+    }
+
+
+def exp_fig2b(num_chiplets: int = NUM_CHIPLETS) -> Dict[str, TopologySummary]:
+    """Fig. 2(b): link counts (plus length census) per architecture."""
+    return {
+        arch: summarize(topology_for(arch, num_chiplets))
+        for arch in ALL_ARCHS
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figs. 3 and 5: latency and energy over the Table II mixes
+
+
+@dataclass(frozen=True)
+class MixComparison:
+    """One workload mix evaluated on all architectures."""
+
+    mix_name: str
+    packet_latency: Dict[str, float]
+    noi_energy_pj: Dict[str, float]
+    utilization: Dict[str, float]
+
+    def latency_normalized(self) -> Dict[str, float]:
+        """Per-arch latency as a multiple of Floret (Fig. 3 bars)."""
+        base = self.packet_latency["floret"]
+        return {a: v / base for a, v in self.packet_latency.items()}
+
+    def energy_normalized(self) -> Dict[str, float]:
+        """Per-arch NoI energy as a multiple of Floret (Fig. 5 bars)."""
+        base = self.noi_energy_pj["floret"]
+        return {a: v / base for a, v in self.noi_energy_pj.items()}
+
+
+def exp_mix_comparison(
+    mix_names: Sequence[str] = ("WL1", "WL2", "WL3", "WL4", "WL5"),
+    num_chiplets: int = NUM_CHIPLETS,
+) -> List[MixComparison]:
+    """Shared driver for Figs. 3 and 5."""
+    out = []
+    for mix_name in mix_names:
+        latency: Dict[str, float] = {}
+        energy: Dict[str, float] = {}
+        util: Dict[str, float] = {}
+        for arch in ALL_ARCHS:
+            result = schedule(arch, mix_name, num_chiplets)
+            latency[arch] = result.mean_packet_latency
+            energy[arch] = result.total_noi_energy_pj
+            util[arch] = result.utilization
+        out.append(
+            MixComparison(
+                mix_name=mix_name,
+                packet_latency=latency,
+                noi_energy_pj=energy,
+                utilization=util,
+            )
+        )
+    return out
+
+
+def exp_fig3(num_chiplets: int = NUM_CHIPLETS) -> List[MixComparison]:
+    """Fig. 3: NoI latency normalised to Floret."""
+    return exp_mix_comparison(num_chiplets=num_chiplets)
+
+
+def exp_fig5(num_chiplets: int = NUM_CHIPLETS) -> List[MixComparison]:
+    """Fig. 5: NoI energy normalised to Floret."""
+    return exp_mix_comparison(num_chiplets=num_chiplets)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4: design-time NoIs strand chiplets at runtime
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    arch: str
+    hop_budget: Optional[int]
+    utilization: float
+    constraint_failures: int
+    relaxed_mappings: int
+    makespan_cycles: int
+
+
+def exp_fig4(
+    mix_name: str = "WL3",
+    hop_budget: int = 2,
+    num_chiplets: int = NUM_CHIPLETS,
+) -> List[UtilizationRow]:
+    """Fig. 4: mapped/unmapped behaviour under a contiguity QoS budget.
+
+    Baselines map greedily but *reject* placements whose consecutive
+    loads exceed ``hop_budget`` hops (the paper's contiguity requirement);
+    the rejections stall the queue and strand free chiplets.  Floret's
+    contiguous mapping never rejects.
+    """
+    tasks = mix_by_name(mix_name).tasks()
+    rows: List[UtilizationRow] = []
+    design = floret_design(num_chiplets)
+    floret_sched = SystemScheduler(
+        design.topology,
+        ContiguousMapper(design.allocation_order, design.topology),
+    )
+    result = floret_sched.run(tasks)
+    rows.append(
+        UtilizationRow(
+            arch="floret",
+            hop_budget=None,
+            utilization=result.utilization,
+            constraint_failures=result.constraint_failures,
+            relaxed_mappings=result.relaxed_mappings,
+            makespan_cycles=result.makespan_cycles,
+        )
+    )
+    for arch in BASELINE_ARCHS:
+        topo = baseline_topology(arch, num_chiplets)
+        strict = SystemScheduler(
+            topo,
+            GreedyMapper(topo, max_hops=hop_budget),
+            fallback_mapper=GreedyMapper(topo),
+        )
+        result = strict.run(tasks)
+        rows.append(
+            UtilizationRow(
+                arch=arch,
+                hop_budget=hop_budget,
+                utilization=result.utilization,
+                constraint_failures=result.constraint_failures,
+                relaxed_mappings=result.relaxed_mappings,
+                makespan_cycles=result.makespan_cycles,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# fabrication cost (Section II, Eqs. (2)-(5))
+
+
+def exp_cost(num_chiplets: int = NUM_CHIPLETS) -> Dict[str, Dict[str, float]]:
+    """Fabrication-cost comparison relative to Floret."""
+    topologies = [topology_for(a, num_chiplets) for a in ALL_ARCHS]
+    return compare_costs(topologies, baseline="floret")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: EDP / peak temperature / accuracy on the 3D system
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    dnn_id: str
+    model_name: str
+    floret_edp: float
+    joint_edp: float
+    floret_peak_k: float
+    joint_peak_k: float
+    floret_accuracy_drop_pct: float
+    joint_accuracy_drop_pct: float
+
+    @property
+    def edp_advantage(self) -> float:
+        """Floret EDP as a fraction of joint EDP (paper: ~0.91)."""
+        if self.joint_edp == 0:
+            return 1.0
+        return self.floret_edp / self.joint_edp
+
+    @property
+    def peak_delta_k(self) -> float:
+        """Floret peak minus joint peak (paper: ~13 K average)."""
+        return self.floret_peak_k - self.joint_peak_k
+
+
+FIG6_DNNS: Tuple[str, ...] = ("DNN1", "DNN2", "DNN3", "DNN4", "DNN5")
+
+
+def exp_fig6(
+    dnn_ids: Sequence[str] = FIG6_DNNS,
+    *,
+    population_size: int = 24,
+    generations: int = 12,
+) -> List[Fig6Row]:
+    """Figs. 6(a)-(c): Floret-3D vs joint perf-thermal optimisation."""
+    rows: List[Fig6Row] = []
+    for dnn_id in dnn_ids:
+        problem, result = moo_result(
+            dnn_id,
+            population_size=population_size,
+            generations=generations,
+        )
+        n = problem.design.topology.num_chiplets
+        drops = {}
+        for label, cand in (("floret", result.performance_only),
+                            ("joint", result.joint)):
+            report = problem.thermal_report(cand.chiplet_ids)
+            fractions = weight_fractions_per_pe(
+                n, problem.plan, cand.chiplet_ids
+            )
+            drops[label] = assess(
+                problem.model.name, report.temperatures_k, fractions
+            ).drop_pct
+        rows.append(
+            Fig6Row(
+                dnn_id=dnn_id,
+                model_name=problem.model.name,
+                floret_edp=result.performance_only.edp,
+                joint_edp=result.joint.edp,
+                floret_peak_k=result.performance_only.peak_k,
+                joint_peak_k=result.joint.peak_k,
+                floret_accuracy_drop_pct=drops["floret"],
+                joint_accuracy_drop_pct=drops["joint"],
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: bottom-tier hotspot maps for ResNet-34
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    floret: HotspotReport
+    joint: HotspotReport
+    floret_map: "object"
+    joint_map: "object"
+
+    @property
+    def peak_delta_k(self) -> float:
+        """Floret bottom-tier peak minus joint (paper: ~17 K)."""
+        return self.floret.peak_k - self.joint.peak_k
+
+
+def exp_fig7(dnn_id: str = "DNN10") -> Fig7Result:
+    """Fig. 7: thermal hotspots, ResNet-34 on the 100-PE 3D stack.
+
+    The paper uses DNN10 (ResNet-34/CIFAR-10) as the running example.
+    """
+    problem, result = moo_result(dnn_id)
+    reports = {}
+    maps = {}
+    for label, cand in (("floret", result.performance_only),
+                        ("joint", result.joint)):
+        thermal = problem.thermal_report(cand.chiplet_ids)
+        reports[label] = analyze_tier(
+            thermal, problem.design.grid, tier=0, label=label
+        )
+        maps[label] = reports[label].tier_map_k
+    return Fig7Result(
+        floret=reports["floret"],
+        joint=reports["joint"],
+        floret_map=maps["floret"],
+        joint_map=maps["joint"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section IV: transformer storage analysis
+
+
+@dataclass(frozen=True)
+class Sec4Row:
+    config_name: str
+    weight_elements: int
+    intermediate_elements: int
+    ratio: float
+    paper_ratio: Optional[float]
+    dynamic_mac_fraction: float
+
+
+SEC4_PAPER_RATIOS = {"bert-base": 8.98, "bert-tiny": 2.06}
+
+
+def exp_sec4_transformer(
+    configs: Sequence[TransformerConfig] = (BERT_TINY, BERT_BASE),
+) -> List[Sec4Row]:
+    """Section IV: intermediate-to-weight storage ratios for BERT."""
+    rows = []
+    for cfg in configs:
+        report = storage_report(cfg)
+        suit = pim_suitability(cfg)
+        rows.append(
+            Sec4Row(
+                config_name=cfg.name,
+                weight_elements=report.weight_elements,
+                intermediate_elements=report.intermediate_elements,
+                ratio=report.intermediate_to_weight_ratio,
+                paper_ratio=SEC4_PAPER_RATIOS.get(cfg.name),
+                dynamic_mac_fraction=suit["dynamic_fraction"],
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SkipTrafficRow:
+    model_name: str
+    skip_fraction: float
+    linear_to_skip_ratio: float
+
+
+def exp_sec2_skip_traffic(
+    names: Sequence[Tuple[str, str]] = (("resnet34", "imagenet"),),
+) -> List[SkipTrafficRow]:
+    """Section II claim: ResNet-34 skips carry ~19% of activations."""
+    rows = []
+    for name, dataset in names:
+        summary = summarize_traffic(build_model(name, dataset))
+        rows.append(
+            SkipTrafficRow(
+                model_name=f"{name}/{dataset}",
+                skip_fraction=summary.skip_fraction,
+                linear_to_skip_ratio=summary.linear_to_skip_ratio,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Eq. (1) ablation: head/tail placement optimisation
+
+
+@dataclass(frozen=True)
+class Eq1Row:
+    petals: int
+    optimized_d: float
+    unoptimized_d: float
+
+    @property
+    def improvement(self) -> float:
+        if self.optimized_d == 0:
+            return 1.0
+        return self.unoptimized_d / self.optimized_d
+
+
+def exp_eq1_headtail(
+    cols: int = 10, rows: int = 10,
+    petal_counts: Sequence[int] = (2, 4, 5, 6, 10),
+) -> List[Eq1Row]:
+    """Eq. (1): the head/tail orientation optimiser's effect on d."""
+    out = []
+    for petals in petal_counts:
+        optimized = build_floret_curve(cols, rows, petals, optimize=True)
+        unoptimized = build_floret_curve(cols, rows, petals, optimize=False)
+        out.append(
+            Eq1Row(
+                petals=petals,
+                optimized_d=optimized.eq1_distance,
+                unoptimized_d=unoptimized.eq1_distance,
+            )
+        )
+    return out

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every benchmark prints its table/figure through these helpers so the
+regenerated rows read like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_ratio_series(
+    baseline: str,
+    ratios: Sequence[tuple],
+    *,
+    metric: str = "ratio",
+) -> str:
+    """One-line-per-entry ratio report, e.g. for normalised figures."""
+    lines = [f"normalised to {baseline} (=1.00), metric: {metric}"]
+    for name, value in ratios:
+        lines.append(f"  {name:>12s}: {value:.2f}x")
+    return "\n".join(lines)

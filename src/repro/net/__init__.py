@@ -1,0 +1,27 @@
+"""Interconnect performance models: analytic + packet-level simulation."""
+
+from .analytic import (
+    CommReport,
+    communication_cost,
+    flits_for_bytes,
+    path_pipeline_cycles,
+    transfer_energy_pj,
+    transfer_latency_cycles,
+)
+from .perf import TaskPerf, evaluate_task
+from .simulator import Message, SimReport, simulate, simulate_transfers
+
+__all__ = [
+    "CommReport",
+    "Message",
+    "SimReport",
+    "TaskPerf",
+    "communication_cost",
+    "evaluate_task",
+    "flits_for_bytes",
+    "path_pipeline_cycles",
+    "simulate",
+    "simulate_transfers",
+    "transfer_energy_pj",
+    "transfer_latency_cycles",
+]

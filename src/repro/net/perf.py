@@ -1,0 +1,157 @@
+"""End-to-end task performance: compute + communication composition.
+
+Evaluates one mapped DNN task on one NoI: per weighted layer, the layer's
+input activations stream in from the chiplets of its producer layers
+(communication step) while its crossbars replay MVMs (compute step); the
+two overlap, so a layer costs ``max(comm, compute)`` and the task is the
+sum over layers.  The NoI-only components (what the paper's Figs. 3 and
+5 plot) are reported separately from compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..noi.topology import Topology
+from ..pim.allocation import AllocationPlan
+from ..pim.chiplet import ChipletSpec, layer_compute
+from ..workloads.dnn import DNNModel
+from .analytic import CommReport, multicast_step_cost
+
+
+@dataclass(frozen=True)
+class TaskPerf:
+    """Performance of one task instance on one NoI.
+
+    Attributes:
+        task_id: Task identifier.
+        model_name: Workload name.
+        latency_cycles: End-to-end inference latency (compute and
+            communication overlapped per layer).
+        noi_latency_cycles: Communication-only latency (Fig. 3 metric).
+        compute_latency_cycles: Compute-only latency.
+        noi_energy_pj: Communication energy (Fig. 5 metric).
+        compute_energy_pj: MVM energy.
+        weighted_hops: Traffic-weighted mean hop count.
+        num_chiplets: Chiplets occupied by the task.
+        packet_count: NoI packets injected per inference.
+        packet_latency_sum: Sum of per-packet latencies; divide by
+            ``packet_count`` for the average packet latency (Fig. 3).
+    """
+
+    task_id: str
+    model_name: str
+    latency_cycles: int
+    noi_latency_cycles: int
+    compute_latency_cycles: int
+    noi_energy_pj: float
+    compute_energy_pj: float
+    weighted_hops: float
+    num_chiplets: int
+    packet_count: int = 0
+    packet_latency_sum: int = 0
+
+    @property
+    def mean_packet_latency(self) -> float:
+        """Average NoI packet latency in cycles (Fig. 3 metric)."""
+        if self.packet_count == 0:
+            return 0.0
+        return self.packet_latency_sum / self.packet_count
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.noi_energy_pj + self.compute_energy_pj
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in pJ * cycles (Fig. 6(a) metric)."""
+        return self.total_energy_pj * self.latency_cycles
+
+
+def evaluate_task(
+    topology: Topology,
+    model: DNNModel,
+    plan: AllocationPlan,
+    chiplet_ids: Sequence[int],
+    *,
+    task_id: str = "",
+    spec: Optional[ChipletSpec] = None,
+    bytes_per_element: int = 1,
+) -> TaskPerf:
+    """Evaluate one mapped task.
+
+    Args:
+        topology: The NoI the task runs on.
+        model: The workload.
+        plan: Its chiplet allocation plan.
+        chiplet_ids: Physical chiplet id for each plan position
+            (``len(chiplet_ids) == plan.num_chiplets``).
+        task_id: Identifier for the report.
+        spec: Chiplet hardware spec.
+        bytes_per_element: Activation precision in bytes.
+
+    Raises:
+        ValueError: On plan/placement size mismatch.
+    """
+    if len(chiplet_ids) != plan.num_chiplets:
+        raise ValueError(
+            f"placement has {len(chiplet_ids)} chiplets, plan needs "
+            f"{plan.num_chiplets}"
+        )
+    spec = spec or ChipletSpec.from_params()
+
+    # Group incoming multicasts by consumer layer, in physical ids.
+    incoming: Dict[int, List[Tuple[int, Tuple[int, ...], int]]] = {}
+    for group in plan.multicast_groups(model, bytes_per_element):
+        src_chip = chiplet_ids[group.src]
+        dst_chips = tuple(
+            chiplet_ids[d] for d in group.dsts
+            if chiplet_ids[d] != src_chip
+        )
+        if dst_chips:
+            incoming.setdefault(group.dst_layer, []).append(
+                (src_chip, dst_chips, group.payload_bytes)
+            )
+
+    from ..pim.allocation import layer_crossbar_allocation
+
+    crossbar_shares = layer_crossbar_allocation(model, plan, spec)
+    total = noi_total = compute_total = 0
+    noi_energy = compute_energy = 0.0
+    hop_weight = 0.0
+    volume_total = 0
+    packet_count = 0
+    packet_latency_sum = 0
+    for layer in model.weight_layers():
+        allocated = len(plan.layer_chiplets.get(layer.index, ()))
+        compute = layer_compute(
+            layer, max(1, allocated), spec,
+            crossbars_available=crossbar_shares.get(layer.index),
+        )
+        comm: CommReport = multicast_step_cost(
+            topology, incoming.get(layer.index, ())
+        )
+        total += max(compute.latency_cycles, comm.latency_cycles)
+        noi_total += comm.latency_cycles
+        compute_total += compute.latency_cycles
+        noi_energy += comm.energy_pj
+        compute_energy += compute.energy_pj
+        hop_weight += comm.weighted_hops * comm.total_flits
+        volume_total += comm.total_flits
+        packet_count += comm.packet_count
+        packet_latency_sum += comm.packet_latency_sum
+
+    return TaskPerf(
+        task_id=task_id or model.name,
+        model_name=model.name,
+        latency_cycles=total,
+        noi_latency_cycles=noi_total,
+        compute_latency_cycles=compute_total,
+        noi_energy_pj=noi_energy,
+        compute_energy_pj=compute_energy,
+        weighted_hops=(hop_weight / volume_total) if volume_total else 0.0,
+        num_chiplets=plan.num_chiplets,
+        packet_count=packet_count,
+        packet_latency_sum=packet_latency_sum,
+    )

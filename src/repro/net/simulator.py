@@ -1,0 +1,155 @@
+"""Discrete-event packet-level NoI simulator (contention cross-check).
+
+The analytic model (:mod:`repro.net.analytic`) ignores queueing.  This
+simulator routes individual packets over the same minimal routes with
+per-link serialisation and FIFO contention, so the analytic numbers can
+be validated under load (see ``tests/test_simulator.py`` and the
+ablation bench).  Store-and-forward granularity is the packet (several
+flits); each directed link transmits one packet at a time.
+
+This is deliberately not a cycle-accurate RTL model: the paper's claims
+are about *relative* NoI behaviour, and a queueing-accurate packet model
+is the right fidelity for that (DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..noi.topology import Topology
+from ..params import NoIParams
+
+#: Default packet payload in bytes.
+PACKET_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Message:
+    """One application-level transfer to simulate."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    inject_cycle: int = 0
+    message_id: int = 0
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Simulation outcome for a message set."""
+
+    makespan_cycles: int
+    mean_packet_latency: float
+    max_packet_latency: int
+    packets_delivered: int
+    message_completion: Dict[int, int]
+
+    @property
+    def total_latency_cycles(self) -> int:
+        """Completion time of the last packet (== makespan)."""
+        return self.makespan_cycles
+
+
+def _packetize(
+    messages: Sequence[Message], packet_bytes: int, params: NoIParams
+) -> List[Tuple[int, int, int, int, int]]:
+    """Split messages into (inject, src, dst, flits, message_id) packets."""
+    packets = []
+    for msg in messages:
+        if msg.src == msg.dst or msg.payload_bytes <= 0:
+            continue
+        remaining = msg.payload_bytes
+        while remaining > 0:
+            chunk = min(remaining, packet_bytes)
+            flits = -(-chunk // params.flit_bytes)
+            packets.append(
+                (msg.inject_cycle, msg.src, msg.dst, flits, msg.message_id)
+            )
+            remaining -= chunk
+    return packets
+
+
+def simulate(
+    topology: Topology,
+    messages: Sequence[Message],
+    *,
+    packet_bytes: int = PACKET_BYTES,
+) -> SimReport:
+    """Run the event-driven simulation for ``messages`` on ``topology``.
+
+    Packets follow the same deterministic minimal routes the analytic
+    model uses.  At each hop a packet pays the router pipeline, then
+    queues for the outgoing directed link; a link serialises one packet
+    (``flits`` cycles) plus the wire delay before the next may start.
+    """
+    params = topology.params
+    packets = _packetize(messages, packet_bytes, params)
+    #: next free cycle for each directed link (u, v)
+    link_free: Dict[Tuple[int, int], int] = {}
+    #: event heap: (time, seq, packet_index, hop_index)
+    events: List[Tuple[int, int, int, int]] = []
+    seq = itertools.count()
+    routes = [
+        topology.route(src, dst) for _inject, src, dst, _f, _m in packets
+    ]
+    for i, (inject, _src, _dst, _flits, _mid) in enumerate(packets):
+        heapq.heappush(events, (inject, next(seq), i, 0))
+
+    completion = [0] * len(packets)
+    latencies = [0] * len(packets)
+    message_completion: Dict[int, int] = {}
+
+    while events:
+        now, _s, pkt, hop = heapq.heappop(events)
+        route = routes[pkt]
+        inject, _src, _dst, flits, mid = packets[pkt]
+        if hop >= len(route) - 1:
+            completion[pkt] = now
+            latencies[pkt] = now - inject
+            prev = message_completion.get(mid, 0)
+            message_completion[mid] = max(prev, now)
+            continue
+        u, v = route[hop], route[hop + 1]
+        # Router pipeline: the source router is charged on injection,
+        # each downstream router on arrival -- the same accounting as
+        # the analytic path_pipeline_cycles model.
+        ready = now
+        if hop == 0:
+            ready += params.router_stage_cycles(topology.router_ports(u))
+        start = max(ready, link_free.get((u, v), 0))
+        serialization = flits
+        wire = params.link_delay_cycles(
+            topology.graph.edges[u, v]["length_mm"]
+        )
+        link_free[(u, v)] = start + serialization
+        arrival = (
+            start + serialization + wire
+            + params.router_stage_cycles(topology.router_ports(v))
+        )
+        heapq.heappush(events, (arrival, next(seq), pkt, hop + 1))
+
+    delivered = len(packets)
+    return SimReport(
+        makespan_cycles=max(completion, default=0),
+        mean_packet_latency=(sum(latencies) / delivered) if delivered else 0.0,
+        max_packet_latency=max(latencies, default=0),
+        packets_delivered=delivered,
+        message_completion=message_completion,
+    )
+
+
+def simulate_transfers(
+    topology: Topology,
+    transfers: Sequence[Tuple[int, int, int]],
+    *,
+    packet_bytes: int = PACKET_BYTES,
+) -> SimReport:
+    """Convenience wrapper: simulate ``(src, dst, bytes)`` transfers."""
+    messages = [
+        Message(src=s, dst=d, payload_bytes=b, message_id=i)
+        for i, (s, d, b) in enumerate(transfers)
+    ]
+    return simulate(topology, messages, packet_bytes=packet_bytes)

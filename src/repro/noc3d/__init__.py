@@ -1,0 +1,19 @@
+"""3D-integration substrate: stacked PE grids and 3D SFC NoCs."""
+
+from .grid3d import (
+    VERTICAL_LINK_MM,
+    Floret3DDesign,
+    Grid3D,
+    build_floret_3d,
+    build_mesh_3d,
+    grid_for_pes,
+)
+
+__all__ = [
+    "Floret3DDesign",
+    "Grid3D",
+    "VERTICAL_LINK_MM",
+    "build_floret_3d",
+    "build_mesh_3d",
+    "grid_for_pes",
+]

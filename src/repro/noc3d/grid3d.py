@@ -1,0 +1,208 @@
+"""3D PE grid and Floret-inspired 3D SFC NoC (paper Section III).
+
+A 3D-integrated (M3D) PIM system stacks ``tiers`` layers of PEs with the
+heat sink above the top tier; the bottom tier (z = 0) is farthest from
+the sink, which is why Fig. 7 examines its hotspots.  The 3D SFC NoC
+threads a single contiguous curve through every PE: a boustrophedon
+serpentine per tier, with a nano-scale MIV vertical hop connecting the
+end of one tier to the start of the next (tiers alternate orientation so
+the vertical hop connects vertically adjacent PEs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.sfc import serpentine_order
+from ..noi.topology import Chiplet, Link, Topology
+from ..params import NoIParams
+
+#: Physical length of an MIV vertical hop in mm (M3D inter-tier via).
+VERTICAL_LINK_MM = 0.01
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """Shape of a 3D PE stack.
+
+    Attributes:
+        cols, rows: Planar dimensions of each tier.
+        tiers: Number of stacked tiers (z = tiers - 1 touches the sink).
+    """
+
+    cols: int
+    rows: int
+    tiers: int
+
+    def __post_init__(self) -> None:
+        if min(self.cols, self.rows, self.tiers) <= 0:
+            raise ValueError("grid dimensions must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.cols * self.rows * self.tiers
+
+    def index(self, x: int, y: int, z: int) -> int:
+        """Dense PE index for coordinates (x, y, z)."""
+        if not (0 <= x < self.cols and 0 <= y < self.rows
+                and 0 <= z < self.tiers):
+            raise IndexError(f"({x},{y},{z}) outside {self}")
+        return z * self.cols * self.rows + y * self.cols + x
+
+    def coords(self, index: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`index`."""
+        if not 0 <= index < self.num_pes:
+            raise IndexError(f"PE {index} outside {self}")
+        per_tier = self.cols * self.rows
+        z, rem = divmod(index, per_tier)
+        y, x = divmod(rem, self.cols)
+        return x, y, z
+
+    def bottom_tier_indices(self) -> List[int]:
+        """PE indices of the tier farthest from the heat sink (z = 0)."""
+        return list(range(self.cols * self.rows))
+
+
+def grid_for_pes(num_pes: int, tiers: int = 4) -> Grid3D:
+    """Choose a near-square per-tier layout for ``num_pes`` PEs.
+
+    Raises:
+        ValueError: If ``num_pes`` is not divisible by ``tiers`` or the
+            per-tier count has no near-square factorisation.
+    """
+    if num_pes % tiers != 0:
+        raise ValueError(f"{num_pes} PEs not divisible by {tiers} tiers")
+    per_tier = num_pes // tiers
+    from ..noi.topology import grid_dimensions
+
+    cols, rows = grid_dimensions(per_tier)
+    if cols * rows != per_tier:
+        raise ValueError(f"per-tier count {per_tier} does not fill a grid")
+    return Grid3D(cols=cols, rows=rows, tiers=tiers)
+
+
+@dataclass(frozen=True)
+class Floret3DDesign:
+    """A built 3D SFC NoC.
+
+    Attributes:
+        topology: The NoC graph over all PEs.
+        grid: The stack shape.
+        allocation_order: PE indices in SFC visit order (the
+            performance-optimal mapping order).
+    """
+
+    topology: Topology
+    grid: Grid3D
+    allocation_order: Tuple[int, ...]
+
+
+def build_floret_3d(
+    num_pes: int = 100,
+    tiers: int = 4,
+    *,
+    params: Optional[NoIParams] = None,
+    start_at_bottom: bool = True,
+) -> Floret3DDesign:
+    """Build the Floret-inspired 3D SFC NoC.
+
+    The SFC serpentines through tier 0 (bottom, farthest from the sink),
+    crosses one MIV to tier 1 directly above its last PE, serpentines
+    back, and so on.  ``start_at_bottom=False`` starts at the sink-side
+    tier instead (an ablation: performance-identical, thermally better,
+    foreshadowing the MOO result).
+
+    Intra-tier links span one PE pitch; vertical links are MIVs
+    (:data:`VERTICAL_LINK_MM`), flagged ``vertical`` for the energy model.
+    """
+    params = params or NoIParams()
+    grid = grid_for_pes(num_pes, tiers)
+    pitch = params.pe_pitch_mm
+
+    tier_range = (
+        range(grid.tiers) if start_at_bottom
+        else range(grid.tiers - 1, -1, -1)
+    )
+    order: List[int] = []
+    prev_end: Optional[Tuple[int, int]] = None
+    for z in tier_range:
+        cells = serpentine_order(grid.cols, grid.rows)
+        if prev_end is not None and cells[0] != prev_end:
+            # Orient this tier's serpentine to start above the previous
+            # tier's endpoint so the MIV connects vertical neighbours.
+            for flip_x in (False, True):
+                for flip_y in (False, True):
+                    for cm in (False, True):
+                        cand = serpentine_order(
+                            grid.cols, grid.rows, column_major=cm,
+                            flip_x=flip_x, flip_y=flip_y,
+                        )
+                        if cand[0] == prev_end:
+                            cells = cand
+                            break
+                    else:
+                        continue
+                    break
+                else:
+                    continue
+                break
+        order.extend(grid.index(x, y, z) for x, y in cells)
+        prev_end = cells[-1]
+
+    chiplets = [
+        Chiplet(index=i, x=x, y=y, z=z)
+        for i in range(grid.num_pes)
+        for x, y, z in [grid.coords(i)]
+    ]
+    links: List[Link] = []
+    for a, b in zip(order, order[1:]):
+        ax, ay, az = grid.coords(a)
+        bx, by, bz = grid.coords(b)
+        if az != bz:
+            links.append(Link(a, b, length_mm=VERTICAL_LINK_MM, vertical=True))
+        else:
+            dist = abs(ax - bx) + abs(ay - by)
+            links.append(Link(a, b, length_mm=pitch * dist))
+    topology = Topology(
+        "floret3d", chiplets, links, params=params, multicast_capable=True
+    )
+    return Floret3DDesign(
+        topology=topology, grid=grid, allocation_order=tuple(order)
+    )
+
+
+def build_mesh_3d(
+    num_pes: int = 100,
+    tiers: int = 4,
+    *,
+    params: Optional[NoIParams] = None,
+) -> Tuple[Topology, Grid3D]:
+    """3D mesh NoC (planar mesh per tier + full vertical MIV columns).
+
+    Extension baseline for 3D ablations.
+    """
+    params = params or NoIParams()
+    grid = grid_for_pes(num_pes, tiers)
+    pitch = params.pe_pitch_mm
+    chiplets = [
+        Chiplet(index=i, x=x, y=y, z=z)
+        for i in range(grid.num_pes)
+        for x, y, z in [grid.coords(i)]
+    ]
+    links: List[Link] = []
+    for i in range(grid.num_pes):
+        x, y, z = grid.coords(i)
+        if x + 1 < grid.cols:
+            links.append(Link(i, grid.index(x + 1, y, z), length_mm=pitch))
+        if y + 1 < grid.rows:
+            links.append(Link(i, grid.index(x, y + 1, z), length_mm=pitch))
+        if z + 1 < grid.tiers:
+            links.append(
+                Link(i, grid.index(x, y, z + 1),
+                     length_mm=VERTICAL_LINK_MM, vertical=True)
+            )
+    return (
+        Topology("mesh3d", chiplets, links, params=params),
+        grid,
+    )

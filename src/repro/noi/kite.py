@@ -1,0 +1,160 @@
+"""Kite-family NoIs: torus-based interposer topologies with long links.
+
+The Kite family [3] comprises torus-like interposer networks whose links
+skip over neighbouring chiplets.  The paper's Fig. 2 characterises Kite
+as: four-port routers are the most frequent, and links are "mainly
+two-hop".  We build Kite as a *folded torus*: a standard 2D torus laid
+out with the folding trick so that every link (including the logical
+wrap-around) has a physical span of two chiplet pitches.  Variants of
+the family (Butter Donut, Double Butterfly) are provided for the
+extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..params import NoIParams
+from .topology import Chiplet, Link, Topology, grid_chiplets, grid_dimensions
+
+
+def _folded_position(i: int, n: int) -> int:
+    """Physical column of logical index ``i`` in a folded 1-D torus.
+
+    Folding interleaves the ring 0,1,...,n-1 as 0,2,4,...,5,3,1 so each
+    logical neighbour pair sits two physical slots apart.
+    """
+    if i < (n + 1) // 2:
+        return 2 * i
+    return 2 * (n - 1 - i) + 1
+
+
+def build_kite(
+    num_chiplets: int = 100,
+    *,
+    params: Optional[NoIParams] = None,
+    name: str = "kite",
+) -> Topology:
+    """Build the Kite (folded-torus) NoI.
+
+    Every router has four network ports; physical link spans are two
+    pitches in the folded layout (one pitch at the fold edges), matching
+    the paper's "mainly two-hop links, inherently bigger routers"
+    description.
+    """
+    params = params or NoIParams()
+    cols, rows = grid_dimensions(num_chiplets)
+    pitch = params.chiplet_pitch_mm
+
+    # Logical torus coordinates -> folded physical coordinates.
+    chiplets: List[Chiplet] = []
+    logical_to_index: Dict[Tuple[int, int], int] = {}
+    for i in range(num_chiplets):
+        lx, ly = i % cols, i // cols
+        px = _folded_position(lx, cols)
+        py = _folded_position(ly, rows)
+        logical_to_index[(lx, ly)] = i
+        chiplets.append(Chiplet(index=i, x=px, y=py))
+
+    def physical_span(a: int, b: int) -> float:
+        ca, cb = chiplets[a], chiplets[b]
+        return pitch * (abs(ca.x - cb.x) + abs(ca.y - cb.y))
+
+    links: List[Link] = []
+    for i in range(num_chiplets):
+        lx, ly = i % cols, i // cols
+        right = logical_to_index[((lx + 1) % cols, ly)]
+        up = logical_to_index[(lx, (ly + 1) % rows)]
+        for j in (right, up):
+            key = (min(i, j), max(i, j))
+            links.append(Link(key[0], key[1], length_mm=physical_span(i, j)))
+
+    # De-duplicate wrap links that coincide for tiny grids.
+    unique: Dict[Tuple[int, int], Link] = {}
+    for link in links:
+        unique[(min(link.u, link.v), max(link.u, link.v))] = link
+    return Topology(name, chiplets, list(unique.values()), params=params)
+
+
+def build_butter_donut(
+    num_chiplets: int = 100,
+    *,
+    params: Optional[NoIParams] = None,
+) -> Topology:
+    """Butter Donut variant: folded torus plus diagonal express links.
+
+    Adds an express diagonal from each even-indexed chiplet two rows and
+    two columns away, increasing bisection bandwidth at the price of
+    6-port routers -- used by the extension/ablation benches.
+    """
+    base = build_kite(num_chiplets, params=params, name="butter_donut")
+    params = base.params
+    cols, rows = grid_dimensions(num_chiplets)
+    pitch = params.chiplet_pitch_mm
+    existing = {(min(l.u, l.v), max(l.u, l.v)) for l in base.links}
+    links = list(base.links)
+    for i in range(num_chiplets):
+        lx, ly = i % cols, i // cols
+        if (lx + ly) % 2:
+            continue
+        tx, ty = lx + 2, ly + 2
+        if tx >= cols or ty >= rows:
+            continue
+        j = ty * cols + tx
+        key = (min(i, j), max(i, j))
+        if key in existing:
+            continue
+        existing.add(key)
+        ca, cb = base.chiplets[i], base.chiplets[j]
+        span = pitch * (abs(ca.x - cb.x) + abs(ca.y - cb.y))
+        links.append(Link(key[0], key[1], length_mm=span))
+    return Topology("butter_donut", base.chiplets, links, params=params)
+
+
+def build_double_butterfly(
+    num_chiplets: int = 100,
+    *,
+    params: Optional[NoIParams] = None,
+) -> Topology:
+    """Double Butterfly variant: row-wise butterfly express channels.
+
+    Each chiplet gains an express link to the chiplet ``2^k`` columns away
+    (largest power of two fitting in its row half), a flattened-butterfly
+    style shortcut [18]; provided for extension benches.
+    """
+    params = params or NoIParams()
+    cols, rows = grid_dimensions(num_chiplets)
+    pitch = params.chiplet_pitch_mm
+    chiplets = grid_chiplets(num_chiplets)
+    index = {(c.x, c.y): c.index for c in chiplets}
+
+    links: List[Link] = []
+    existing = set()
+
+    def add(u: int, v: int) -> None:
+        key = (min(u, v), max(u, v))
+        if key in existing:
+            return
+        existing.add(key)
+        ca, cb = chiplets[u], chiplets[v]
+        span = pitch * (abs(ca.x - cb.x) + abs(ca.y - cb.y))
+        links.append(Link(key[0], key[1], length_mm=span))
+
+    for c in chiplets:
+        right = index.get((c.x + 1, c.y))
+        if right is not None:
+            add(c.index, right)
+        up = index.get((c.x, c.y + 1))
+        if up is not None:
+            add(c.index, up)
+    # Express links: distance-4 row shortcuts on alternating rows.
+    for c in chiplets:
+        if c.y % 2 == 0:
+            far = index.get((c.x + 4, c.y))
+            if far is not None:
+                add(c.index, far)
+        else:
+            far = index.get((c.x, c.y + 4))
+            if far is not None:
+                add(c.index, far)
+    return Topology("double_butterfly", chiplets, links, params=params)

@@ -1,0 +1,93 @@
+"""2D-mesh NoI: the SIAM / SIMBA / IntAct baseline class.
+
+The paper treats SIAM [11] as representative of mesh-based NoIs: every
+chiplet has a router linked to its 4-neighbours with single-hop
+(one-pitch) links, giving mostly 3- and 4-port routers (2-port at the
+corners), exactly the Fig. 2(a) mesh signature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..params import NoIParams
+from .topology import Chiplet, Link, Topology, grid_chiplets, grid_dimensions
+
+
+def build_mesh(
+    num_chiplets: int = 100,
+    *,
+    params: Optional[NoIParams] = None,
+    name: str = "siam",
+) -> Topology:
+    """Build a 2D-mesh NoI over a near-square chiplet grid.
+
+    Args:
+        num_chiplets: Total chiplets (100 in the paper's evaluation).
+        params: Hardware constants; pitch sets all link lengths.
+        name: Topology name (default ``"siam"``).
+    """
+    params = params or NoIParams()
+    cols, rows = grid_dimensions(num_chiplets)
+    chiplets = grid_chiplets(num_chiplets)
+    index = {(c.x, c.y): c.index for c in chiplets}
+    pitch = params.chiplet_pitch_mm
+
+    links: List[Link] = []
+    for c in chiplets:
+        right = index.get((c.x + 1, c.y))
+        if right is not None:
+            links.append(Link(c.index, right, length_mm=pitch))
+        up = index.get((c.x, c.y + 1))
+        if up is not None:
+            links.append(Link(c.index, up, length_mm=pitch))
+    return Topology(name, chiplets, links, params=params)
+
+
+def build_cmesh(
+    num_chiplets: int = 100,
+    concentration: int = 4,
+    *,
+    params: Optional[NoIParams] = None,
+) -> Topology:
+    """Concentrated mesh: ``concentration`` chiplets share one router.
+
+    Provided as an extension baseline (several 2.5D works use cmesh).
+    Chiplets in one concentration group link to the group leader with a
+    short local link; leaders form a coarser mesh with longer links.
+    """
+    params = params or NoIParams()
+    if concentration < 1:
+        raise ValueError("concentration must be >= 1")
+    cols, rows = grid_dimensions(num_chiplets)
+    chiplets = grid_chiplets(num_chiplets)
+    index = {(c.x, c.y): c.index for c in chiplets}
+    pitch = params.chiplet_pitch_mm
+
+    import math
+
+    group = max(1, int(math.isqrt(concentration)))
+    links: List[Link] = []
+
+    def leader_of(c: Chiplet) -> int:
+        lx = (c.x // group) * group
+        ly = (c.y // group) * group
+        lead = index.get((lx, ly))
+        return c.index if lead is None else lead
+
+    leaders = sorted({leader_of(c) for c in chiplets})
+    for c in chiplets:
+        lead = leader_of(c)
+        if lead != c.index:
+            dist = abs(c.x - chiplets[lead].x) + abs(c.y - chiplets[lead].y)
+            links.append(Link(c.index, lead, length_mm=pitch * dist))
+    leader_set = set(leaders)
+    for li in leaders:
+        lc = chiplets[li]
+        for dx, dy in ((group, 0), (0, group)):
+            neighbour = index.get((lc.x + dx, lc.y + dy))
+            if neighbour is not None and neighbour in leader_set:
+                links.append(
+                    Link(li, neighbour, length_mm=pitch * group)
+                )
+    return Topology("cmesh", chiplets, links, params=params)

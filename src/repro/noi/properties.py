@@ -1,0 +1,87 @@
+"""Structural NoI metrics: the raw material of the paper's Fig. 2.
+
+:func:`summarize` condenses a topology into the quantities the paper
+compares across architectures -- router-port histogram (Fig. 2a), link
+count and length census (Fig. 2b), NoI area, bisection width and hop
+statistics -- so benchmarks and tests share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Structural summary of one NoI architecture.
+
+    Attributes:
+        name: Topology name.
+        num_chiplets: Chiplet count.
+        num_links: Total link count (Fig. 2b).
+        port_histogram: {router ports: count} (Fig. 2a).
+        link_length_histogram: {span in pitches: count}.
+        total_link_length_mm: Aggregate wire length.
+        noi_area_mm2: Router + link-channel area.
+        bisection_links: Links crossing the median vertical cut.
+        diameter_hops: Network diameter in hops.
+        average_hops: Mean shortest-path hop count.
+    """
+
+    name: str
+    num_chiplets: int
+    num_links: int
+    port_histogram: Mapping[int, int]
+    link_length_histogram: Mapping[int, int]
+    total_link_length_mm: float
+    noi_area_mm2: float
+    bisection_links: int
+    diameter_hops: int
+    average_hops: float
+
+    @property
+    def mean_ports(self) -> float:
+        total = sum(p * n for p, n in self.port_histogram.items())
+        routers = sum(self.port_histogram.values())
+        return total / routers if routers else 0.0
+
+    def fraction_single_hop_links(self) -> float:
+        """Share of links spanning exactly one pitch."""
+        if self.num_links == 0:
+            return 0.0
+        return self.link_length_histogram.get(1, 0) / self.num_links
+
+
+def summarize(topology: Topology) -> TopologySummary:
+    """Compute the full structural summary of ``topology``."""
+    return TopologySummary(
+        name=topology.name,
+        num_chiplets=topology.num_chiplets,
+        num_links=topology.num_links,
+        port_histogram=topology.port_histogram(),
+        link_length_histogram=topology.link_length_histogram(),
+        total_link_length_mm=topology.total_link_length_mm(),
+        noi_area_mm2=topology.noi_area_mm2(),
+        bisection_links=topology.bisection_links(),
+        diameter_hops=topology.diameter_hops(),
+        average_hops=topology.average_hops(),
+    )
+
+
+def compare(summaries: Sequence[TopologySummary]) -> Dict[str, Dict[str, float]]:
+    """Cross-architecture comparison table keyed by topology name."""
+    return {
+        s.name: {
+            "links": float(s.num_links),
+            "mean_ports": s.mean_ports,
+            "area_mm2": s.noi_area_mm2,
+            "bisection": float(s.bisection_links),
+            "avg_hops": s.average_hops,
+            "diameter": float(s.diameter_hops),
+            "single_hop_frac": s.fraction_single_hop_links(),
+        }
+        for s in summaries
+    }

@@ -1,0 +1,41 @@
+"""ReRAM PIM chiplet models: storage, compute, thermal sensitivity."""
+
+from .accuracy import (
+    BASELINE_ACCURACY_PCT,
+    NOISE_SENSITIVITY,
+    AccuracyReport,
+    accuracy_drop_pct,
+    assess,
+    effective_noise,
+)
+from .allocation import AllocationPlan, ChipletLoad, LayerSlice, plan_allocation
+from .chiplet import ChipletSpec, LayerCompute, chiplets_required, layer_compute
+from .reram import (
+    CrossbarSpec,
+    conductance_window,
+    crossbars_for_weights,
+    mvms_for_layer,
+    weight_noise_sigma,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "AllocationPlan",
+    "BASELINE_ACCURACY_PCT",
+    "ChipletLoad",
+    "ChipletSpec",
+    "CrossbarSpec",
+    "LayerCompute",
+    "LayerSlice",
+    "NOISE_SENSITIVITY",
+    "accuracy_drop_pct",
+    "assess",
+    "chiplets_required",
+    "conductance_window",
+    "crossbars_for_weights",
+    "effective_noise",
+    "layer_compute",
+    "mvms_for_layer",
+    "plan_allocation",
+    "weight_noise_sigma",
+]

@@ -1,0 +1,146 @@
+"""Thermal-noise -> inference-accuracy degradation model (Section III).
+
+The causal chain the paper describes: mapping concentrates power ->
+hotspots form -> ReRAM conductance window shrinks above 330 K [20] ->
+stored weights are effectively perturbed -> inference accuracy drops
+(up to 11% for performance-only mapping in Fig. 6(c)).
+
+We cannot run the authors' trained models, so accuracy loss is a
+calibrated function of the effective weight noise (DESIGN.md,
+substitutions table): a saturating-exponential response whose
+sensitivity differs per model family (deeper/denser networks compound
+perturbations faster).  The *shape* claims of Fig. 6(c) -- zero loss for
+thermally-safe mappings, monotonically growing loss with peak
+temperature, up to double-digit percentage points for hot mappings --
+are what this model preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..params import ThermalParams
+from .reram import weight_noise_sigma
+
+#: Clean (no-thermal-noise) top-1 accuracy per Table I workload family,
+#: representative published values (percent).
+BASELINE_ACCURACY_PCT: Dict[str, float] = {
+    "resnet18": 69.8,
+    "resnet34": 73.3,
+    "resnet50": 76.1,
+    "resnet101": 77.4,
+    "resnet110": 93.6,   # CIFAR-10
+    "resnet152": 78.3,
+    "vgg11": 92.0,       # CIFAR-10
+    "vgg19": 74.2,
+    "densenet169": 75.6,
+    "googlenet": 92.8,   # CIFAR-10
+}
+
+#: Noise sensitivity per family: percentage points lost per unit of
+#: accumulated effective weight noise.  Deeper networks amplify
+#: perturbations layer by layer, hence larger coefficients.
+NOISE_SENSITIVITY: Dict[str, float] = {
+    "resnet18": 35.0,
+    "resnet34": 40.0,
+    "resnet50": 45.0,
+    "resnet101": 50.0,
+    "resnet110": 52.0,
+    "resnet152": 55.0,
+    "vgg11": 28.0,
+    "vgg19": 38.0,
+    "densenet169": 47.0,
+    "googlenet": 32.0,
+}
+
+#: Saturation ceiling: accuracy cannot drop below random guessing, and
+#: reported degradations in [20] plateau; cap the modelled drop.
+MAX_DROP_PCT = 35.0
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Thermal accuracy assessment for one mapped workload."""
+
+    model_name: str
+    baseline_pct: float
+    effective_sigma: float
+    drop_pct: float
+
+    @property
+    def degraded_pct(self) -> float:
+        return self.baseline_pct - self.drop_pct
+
+
+def effective_noise(
+    pe_temperatures_k: Sequence[float],
+    pe_weight_fractions: Optional[Sequence[float]] = None,
+    thermal: Optional[ThermalParams] = None,
+) -> float:
+    """Aggregate weight-noise level over the PEs holding a model.
+
+    Weighted mean of per-PE noise sigma, weighted by the fraction of the
+    model's weights each PE stores (uniform if not given): a single hot
+    PE holding many weights hurts more than a hot idle PE.
+    """
+    temps = list(pe_temperatures_k)
+    if not temps:
+        return 0.0
+    if pe_weight_fractions is None:
+        weights = [1.0 / len(temps)] * len(temps)
+    else:
+        weights = list(pe_weight_fractions)
+        if len(weights) != len(temps):
+            raise ValueError("temperature/weight length mismatch")
+        total = sum(weights)
+        if total <= 0:
+            return 0.0
+        weights = [w / total for w in weights]
+    return sum(
+        w * weight_noise_sigma(t, thermal) for w, t in zip(weights, temps)
+    )
+
+
+def accuracy_drop_pct(
+    model_name: str,
+    sigma: float,
+) -> float:
+    """Accuracy loss (percentage points) for a given effective noise.
+
+    Saturating-exponential response:
+    ``drop = MAX * (1 - exp(-sensitivity * sigma / MAX))`` -- linear in
+    sigma for small noise (slope = sensitivity), saturating at
+    :data:`MAX_DROP_PCT`.
+
+    Raises:
+        KeyError: For unknown model families.
+    """
+    import math
+
+    sensitivity = NOISE_SENSITIVITY[model_name]
+    if sigma <= 0:
+        return 0.0
+    return MAX_DROP_PCT * (1.0 - math.exp(-sensitivity * sigma / MAX_DROP_PCT))
+
+
+def assess(
+    model_name: str,
+    pe_temperatures_k: Sequence[float],
+    pe_weight_fractions: Optional[Sequence[float]] = None,
+    thermal: Optional[ThermalParams] = None,
+) -> AccuracyReport:
+    """Full accuracy assessment for a mapped model.
+
+    Raises:
+        KeyError: For model families without calibration data.
+    """
+    baseline = BASELINE_ACCURACY_PCT[model_name]
+    sigma = effective_noise(pe_temperatures_k, pe_weight_fractions, thermal)
+    drop = accuracy_drop_pct(model_name, sigma)
+    return AccuracyReport(
+        model_name=model_name,
+        baseline_pct=baseline,
+        effective_sigma=sigma,
+        drop_pct=drop,
+    )

@@ -1,0 +1,153 @@
+"""PIM chiplet model: capacity, per-layer compute latency and energy.
+
+A chiplet aggregates ``tiles_per_chiplet x crossbars_per_tile`` ReRAM
+crossbars behind shared peripherals.  The compute model is intentionally
+simple and *consistent across NoI architectures* -- the paper's
+comparisons hold the chiplet constant and vary only the interconnect, so
+any consistent model cancels out in relative results (see DESIGN.md,
+substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..params import PIMParams
+from ..workloads.layers import Layer
+from .reram import CrossbarSpec, crossbars_for_weights, mvms_for_layer
+
+
+@dataclass(frozen=True)
+class ChipletSpec:
+    """Derived chiplet-level quantities."""
+
+    crossbars: int
+    weight_capacity: int
+    #: Crossbars that can run MVMs concurrently (all of them: each array
+    #: has its own DAC/ADC group in SIAM-style designs).
+    parallel_crossbars: int
+    crossbar: CrossbarSpec
+    static_power_w: float
+
+    @classmethod
+    def from_params(cls, params: Optional[PIMParams] = None) -> "ChipletSpec":
+        params = params or PIMParams()
+        crossbar = CrossbarSpec.from_params(params)
+        crossbars = params.crossbars_per_tile * params.tiles_per_chiplet
+        return cls(
+            crossbars=crossbars,
+            weight_capacity=crossbar.weights_capacity * crossbars,
+            parallel_crossbars=crossbars,
+            crossbar=crossbar,
+            static_power_w=params.chiplet_static_power_w,
+        )
+
+
+@dataclass(frozen=True)
+class LayerCompute:
+    """Compute cost of one layer on its allocated chiplets."""
+
+    layer_name: str
+    chiplets_used: int
+    crossbars_used: int
+    mvm_count: int
+    latency_cycles: int
+    energy_pj: float
+
+
+def layer_compute(
+    layer: Layer,
+    chiplets_allocated: int,
+    spec: Optional[ChipletSpec] = None,
+    *,
+    crossbars_available: Optional[int] = None,
+) -> LayerCompute:
+    """Latency/energy for one inference pass of ``layer``.
+
+    SIAM/ISAAC-style weight replication: a layer whose weights occupy few
+    crossbars but whose activation stream is long (early convolutions)
+    is *replicated* across every crossbar its allocation provides, so all
+    of them run MVM rounds in parallel:
+
+        parallel = max(needed_crossbars, crossbars_available)
+        rounds   = ceil(mvms / parallel)
+        latency  = rounds * crossbar latency
+        energy   = mvms * crossbar energy   (work is conserved)
+
+    Args:
+        layer: The layer to execute.
+        chiplets_allocated: Chiplets assigned to this layer.
+        spec: Chiplet hardware spec.
+        crossbars_available: Crossbars usable by this layer (for layers
+            sharing a chiplet, the slice-fraction share); defaults to the
+            full allocation.
+
+    Raises:
+        ValueError: If the allocation cannot hold the layer's weights.
+    """
+    spec = spec or ChipletSpec.from_params()
+    if layer.weights == 0:
+        return LayerCompute(layer.name, 0, 0, 0, 0, 0.0)
+    if chiplets_allocated <= 0:
+        raise ValueError(f"layer {layer.name!r}: no chiplets allocated")
+    needed_crossbars = crossbars_for_weights(layer.weights, spec.crossbar)
+    ceiling = chiplets_allocated * spec.crossbars
+    if needed_crossbars > ceiling:
+        raise ValueError(
+            f"layer {layer.name!r} needs {needed_crossbars} crossbars but "
+            f"{chiplets_allocated} chiplets provide {ceiling}"
+        )
+    if crossbars_available is None:
+        crossbars_available = ceiling
+    parallel = max(needed_crossbars, min(crossbars_available, ceiling), 1)
+    mvms = mvms_for_layer(layer.macs, layer.weights, spec.crossbar)
+    rounds = -(-mvms // parallel)
+    return LayerCompute(
+        layer_name=layer.name,
+        chiplets_used=chiplets_allocated,
+        crossbars_used=parallel,
+        mvm_count=mvms,
+        latency_cycles=rounds * spec.crossbar.latency_cycles,
+        energy_pj=mvms * spec.crossbar.energy_pj,
+    )
+
+
+def spec_for_budget(
+    total_weights: int,
+    max_chiplets: int,
+    params: Optional[PIMParams] = None,
+) -> ChipletSpec:
+    """Choose the smallest PE that still fits a model in ``max_chiplets``.
+
+    3D stacks integrate PEs at tile granularity rather than full 2.5D
+    chiplets; picking the smallest adequate PE spreads the workload over
+    the whole stack (maximising throughput via replication), which is the
+    regime the paper's Section III thermal study operates in.
+
+    Raises:
+        ValueError: If even the largest PE cannot fit the model.
+    """
+    from dataclasses import replace
+
+    params = params or PIMParams()
+    for tiles in (1, 2, 4, 8, 16, 32, 64):
+        candidate = ChipletSpec.from_params(
+            replace(params, tiles_per_chiplet=tiles)
+        )
+        needed = -(-total_weights // candidate.weight_capacity)
+        if needed <= max_chiplets:
+            return candidate
+    raise ValueError(
+        f"{total_weights} weights exceed {max_chiplets} maximal PEs"
+    )
+
+
+def chiplets_required(weights: int, spec: Optional[ChipletSpec] = None) -> int:
+    """Chiplets needed to store ``weights`` parameters (at least 1)."""
+    spec = spec or ChipletSpec.from_params()
+    if weights < 0:
+        raise ValueError("negative weight count")
+    if weights == 0:
+        return 0
+    return -(-weights // spec.weight_capacity)

@@ -1,0 +1,101 @@
+"""ReRAM crossbar primitives: storage, MVM throughput, thermal behaviour.
+
+Models the properties of ReRAM crossbar arrays the paper relies on:
+
+* **storage**: multi-bit weights are bit-sliced over cells
+  (``weight_bits / bits_per_cell`` cells per weight),
+* **compute**: one analog MVM activates a full array per
+  ``mvm_latency_cycles``, and
+* **thermal sensitivity** (Section III): the conductance window between
+  G_on and G_off shrinks exponentially once temperature exceeds ~330 K
+  [20], which is what turns thermal hotspots into accuracy loss.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..params import PIMParams, ThermalParams
+
+
+@dataclass(frozen=True)
+class CrossbarSpec:
+    """Derived single-crossbar quantities for a given :class:`PIMParams`."""
+
+    rows: int
+    cols: int
+    cells_per_weight: int
+    weights_capacity: int
+    macs_per_mvm: int
+    latency_cycles: int
+    energy_pj: float
+
+    @classmethod
+    def from_params(cls, params: Optional[PIMParams] = None) -> "CrossbarSpec":
+        params = params or PIMParams()
+        size = params.crossbar_size
+        cells_per_weight = params.cells_per_weight
+        weight_cols = size // cells_per_weight
+        return cls(
+            rows=size,
+            cols=size,
+            cells_per_weight=cells_per_weight,
+            weights_capacity=size * weight_cols,
+            # One MVM multiplies a length-`rows` input against all stored
+            # weight columns.
+            macs_per_mvm=size * weight_cols,
+            latency_cycles=params.mvm_latency_cycles,
+            energy_pj=params.mvm_energy_pj,
+        )
+
+
+def crossbars_for_weights(weights: int, spec: CrossbarSpec) -> int:
+    """Crossbars needed to hold ``weights`` parameters (ceil)."""
+    if weights < 0:
+        raise ValueError("negative weight count")
+    if weights == 0:
+        return 0
+    return -(-weights // spec.weights_capacity)
+
+
+def mvms_for_layer(macs: int, weights: int, spec: CrossbarSpec) -> int:
+    """Analog MVM operations to execute a layer once.
+
+    A layer's weight matrix is resident across its crossbars; executing
+    the layer replays the input activations over every stored weight, so
+    the MVM count is ``macs / macs_per_mvm`` (each MVM contributes one
+    array's worth of MACs).
+    """
+    if macs <= 0:
+        return 0
+    return -(-macs // spec.macs_per_mvm)
+
+
+# ---------------------------------------------------------------------------
+# thermal behaviour (paper Section III, ref [20])
+
+
+def conductance_window(temperature_k: float,
+                       thermal: Optional[ThermalParams] = None) -> float:
+    """Normalised G_on/G_off window at ``temperature_k``.
+
+    1.0 at or below the knee (330 K by default); decays exponentially
+    above it: ``exp(-shrink * (T - knee))``.  A shrunken window means the
+    crossbar's analog output levels crowd together and can be
+    misinterpreted -- the paper's accuracy-degradation mechanism.
+    """
+    thermal = thermal or ThermalParams()
+    over = max(0.0, temperature_k - thermal.window_knee_k)
+    return math.exp(-thermal.window_shrink_per_k * over)
+
+
+def weight_noise_sigma(temperature_k: float,
+                       thermal: Optional[ThermalParams] = None) -> float:
+    """Effective relative weight-noise std-dev at ``temperature_k``.
+
+    Defined as ``1 - window`` so noise is 0 below the knee and saturates
+    toward 1 as the window collapses.
+    """
+    return 1.0 - conductance_window(temperature_k, thermal)

@@ -1,0 +1,22 @@
+"""Thermal substrate: FD solver, power extraction, hotspot analysis."""
+
+from .hotspot import (
+    HOTSPOT_THRESHOLD_K,
+    HotspotReport,
+    analyze_tier,
+    render_tier_ascii,
+)
+from .model import ThermalModel, ThermalReport
+from .power import PowerProfile, streaming_power, weight_fractions_per_pe
+
+__all__ = [
+    "HOTSPOT_THRESHOLD_K",
+    "HotspotReport",
+    "PowerProfile",
+    "ThermalModel",
+    "ThermalReport",
+    "analyze_tier",
+    "render_tier_ascii",
+    "streaming_power",
+    "weight_fractions_per_pe",
+]

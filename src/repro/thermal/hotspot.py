@@ -1,0 +1,84 @@
+"""Hotspot-map utilities for the paper's Fig. 7.
+
+Fig. 7 shows the bottom tier (farthest from the heat sink) of the 100-PE
+stack running ResNet-34: the performance-only (Floret) mapping
+concentrates power and produces hotspots ~17 K hotter than the joint
+performance-thermal mapping.  These helpers extract tier maps, count
+hotspots, and render ASCII heat maps for the benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..noc3d.grid3d import Grid3D
+from .model import ThermalReport
+
+#: Default hotspot threshold: the ReRAM conductance-window knee [20].
+HOTSPOT_THRESHOLD_K = 330.0
+
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class HotspotReport:
+    """Bottom-tier hotspot summary for one mapping."""
+
+    label: str
+    peak_k: float
+    tier_peak_k: float
+    tier_mean_k: float
+    hotspot_pes: int
+    tier_map_k: np.ndarray
+
+    def delta_peak(self, other: "HotspotReport") -> float:
+        """Peak-temperature difference to another mapping (K)."""
+        return self.peak_k - other.peak_k
+
+
+def analyze_tier(
+    report: ThermalReport,
+    grid: Grid3D,
+    *,
+    tier: int = 0,
+    label: str = "",
+    threshold_k: float = HOTSPOT_THRESHOLD_K,
+) -> HotspotReport:
+    """Summarise one tier of a thermal solution (default: bottom tier)."""
+    tier_map = report.tier_map(grid, tier)
+    return HotspotReport(
+        label=label,
+        peak_k=report.peak_k,
+        tier_peak_k=float(tier_map.max()),
+        tier_mean_k=float(tier_map.mean()),
+        hotspot_pes=int((tier_map > threshold_k).sum()),
+        tier_map_k=tier_map,
+    )
+
+
+def render_tier_ascii(
+    tier_map: np.ndarray,
+    *,
+    low_k: Optional[float] = None,
+    high_k: Optional[float] = None,
+) -> str:
+    """ASCII heat map of a tier (darker character = hotter PE).
+
+    The scale is [low_k, high_k] (defaults: map min/max) so two mappings
+    can be rendered on a shared scale for side-by-side comparison.
+    """
+    low = float(tier_map.min()) if low_k is None else low_k
+    high = float(tier_map.max()) if high_k is None else high_k
+    span = max(high - low, 1e-9)
+    rows: List[str] = []
+    for row in tier_map:
+        chars = []
+        for t in row:
+            level = (float(t) - low) / span
+            level = min(max(level, 0.0), 1.0)
+            chars.append(_SHADES[int(level * (len(_SHADES) - 1))])
+        rows.append("".join(chars))
+    return "\n".join(rows)

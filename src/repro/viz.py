@@ -1,0 +1,102 @@
+"""ASCII visualisation of NoI designs and runtime occupancy.
+
+Renders the paper's illustrative figures in the terminal:
+
+* :func:`render_petals` -- Fig. 1: the petal decomposition of the grid,
+  with heads/tails marked;
+* :func:`render_occupancy` -- Fig. 4: mapped vs unmapped chiplets at a
+  point in time;
+* :func:`render_placement` -- one task's footprint on the grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .core.floret import FloretDesign
+from .core.sfc import FloretCurve
+from .noi.topology import Topology
+
+#: Petal glyphs (petal i -> letter), wraps after 26.
+_PETAL_GLYPHS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def render_petals(curve: FloretCurve, *, mark_heads: bool = True) -> str:
+    """Fig. 1 style map: one letter per petal, H/T for heads and tails.
+
+    Heads are upper-cased; tails are rendered as ``*`` overlaying the
+    petal letter when ``mark_heads`` is set.
+    """
+    grid: List[List[str]] = [
+        ["?" for _ in range(curve.cols)] for _ in range(curve.rows)
+    ]
+    for seg in curve.segments:
+        glyph = _PETAL_GLYPHS[seg.petal_id % len(_PETAL_GLYPHS)]
+        for x, y in seg.cells:
+            grid[y][x] = glyph
+        if mark_heads:
+            hx, hy = seg.head
+            tx, ty = seg.tail
+            grid[hy][hx] = glyph.upper()
+            grid[ty][tx] = "*"
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_occupancy(
+    topology: Topology,
+    owner_by_chiplet: Mapping[int, str],
+    *,
+    free_glyph: str = ".",
+) -> str:
+    """Fig. 4 style map: which task owns each chiplet (``.`` = unmapped).
+
+    Each distinct owner gets a stable single-character glyph (first
+    letters of sorted owner names, cycling through digits on collision).
+    """
+    owners = sorted(set(owner_by_chiplet.values()))
+    glyphs: Dict[str, str] = {}
+    used = set()
+    pool = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for owner in owners:
+        candidate = owner[:1].upper() or "?"
+        if candidate in used:
+            candidate = next(c for c in pool if c not in used)
+        glyphs[owner] = candidate
+        used.add(candidate)
+
+    cols = max(c.x for c in topology.chiplets) + 1
+    rows = max(c.y for c in topology.chiplets) + 1
+    grid = [[" " for _ in range(cols)] for _ in range(rows)]
+    for chiplet in topology.chiplets:
+        owner = owner_by_chiplet.get(chiplet.index)
+        grid[chiplet.y][chiplet.x] = (
+            glyphs[owner] if owner is not None else free_glyph
+        )
+    legend = ", ".join(f"{g}={o}" for o, g in sorted(glyphs.items()))
+    body = "\n".join("".join(row) for row in grid)
+    return f"{body}\n[{legend or 'all free'}]"
+
+
+def render_placement(
+    design: FloretDesign, chiplet_ids: Sequence[int]
+) -> str:
+    """One task's footprint: ``#`` occupied, ``.`` free, petal letters dim."""
+    owner = {cid: "task" for cid in chiplet_ids}
+    return render_occupancy(design.topology, owner)
+
+
+def occupancy_from_schedule(
+    completed: Iterable,  # Iterable[ScheduledTask]
+    at_cycle: int,
+) -> Dict[int, str]:
+    """Owner map at time ``at_cycle`` from a schedule's completed tasks.
+
+    A chiplet is owned by task T if T was active (start <= t < finish)
+    at the query time; the result feeds :func:`render_occupancy`.
+    """
+    owners: Dict[int, str] = {}
+    for scheduled in completed:
+        if scheduled.start_cycle <= at_cycle < scheduled.finish_cycle:
+            for cid in scheduled.placement.chiplet_ids:
+                owners[cid] = scheduled.perf.task_id
+    return owners

@@ -1,0 +1,59 @@
+"""DNN/Transformer workload models: the paper's Tables I and II.
+
+Public surface:
+
+* :class:`~repro.workloads.layers.Layer`,
+  :class:`~repro.workloads.layers.LayerKind`,
+  :class:`~repro.workloads.layers.LayerGraphBuilder` -- layer graphs.
+* :class:`~repro.workloads.dnn.DNNModel` -- immutable workload container.
+* :func:`~repro.workloads.zoo.build_model`, :func:`~repro.workloads.zoo.table1_rows`
+  -- the 13-model zoo.
+* :class:`~repro.workloads.tasks.TaskMix`, :data:`~repro.workloads.tasks.TABLE2_MIXES`
+  -- concurrent datacenter mixes.
+* :func:`~repro.workloads.traffic.summarize_traffic` -- skip/linear stats.
+* :mod:`~repro.workloads.transformer` -- Section IV storage analysis.
+"""
+
+from .dnn import DNNModel, weighted_chain_edges
+from .layers import Layer, LayerGraphBuilder, LayerKind, validate_layer_graph
+from .tasks import TABLE2_MIXES, DNNTask, TaskMix, all_mixes, mix_by_name
+from .traffic import (
+    TrafficEdge,
+    TrafficSummary,
+    classify_edges,
+    interlayer_traffic,
+    summarize_traffic,
+)
+from .zoo import (
+    TABLE1_SPEC,
+    Table1Row,
+    available_models,
+    build_model,
+    table1_model,
+    table1_rows,
+)
+
+__all__ = [
+    "DNNModel",
+    "DNNTask",
+    "Layer",
+    "LayerGraphBuilder",
+    "LayerKind",
+    "TABLE1_SPEC",
+    "TABLE2_MIXES",
+    "Table1Row",
+    "TaskMix",
+    "TrafficEdge",
+    "TrafficSummary",
+    "all_mixes",
+    "available_models",
+    "build_model",
+    "classify_edges",
+    "interlayer_traffic",
+    "mix_by_name",
+    "summarize_traffic",
+    "table1_model",
+    "table1_rows",
+    "validate_layer_graph",
+    "weighted_chain_edges",
+]

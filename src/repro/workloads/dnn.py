@@ -1,0 +1,162 @@
+"""DNN model container: an immutable layer graph plus aggregate queries.
+
+A :class:`DNNModel` is what the rest of the system consumes: the mapping
+engine walks :meth:`DNNModel.weight_layers` in order, the traffic model
+walks the edges, and the PIM allocator reads per-layer weight counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Tuple
+
+from .layers import Layer, LayerKind, validate_layer_graph
+
+
+@dataclass(frozen=True)
+class DNNModel:
+    """An immutable DNN workload.
+
+    Attributes:
+        name: Model identifier, e.g. ``"resnet34"``.
+        dataset: Dataset identifier, e.g. ``"imagenet"`` or ``"cifar10"``.
+        layers: Topologically ordered layer tuple (see
+            :func:`repro.workloads.layers.validate_layer_graph`).
+    """
+
+    name: str
+    dataset: str
+    layers: Tuple[Layer, ...]
+
+    def __post_init__(self) -> None:
+        validate_layer_graph(self.layers)
+
+    # ------------------------------------------------------------------
+    # aggregates
+
+    @cached_property
+    def total_params(self) -> int:
+        """Total trainable parameters over all layers."""
+        return sum(layer.weights for layer in self.layers)
+
+    @cached_property
+    def total_macs(self) -> int:
+        """Total MAC operations for a single inference."""
+        return sum(layer.macs for layer in self.layers)
+
+    @cached_property
+    def total_activations(self) -> int:
+        """Total activation elements propagated over all edges.
+
+        Each edge producer->consumer carries the producer's full output;
+        an output consumed by two layers (skip connection) is counted twice
+        because it is physically sent twice on the NoI.
+        """
+        return sum(
+            self.layers[src].out_elements
+            for layer in self.layers
+            for src in layer.inputs
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------
+    # structure queries
+
+    def weight_layers(self) -> List[Layer]:
+        """Layers that hold parameters, in execution order.
+
+        These are the units the mapper places on PIM chiplets.
+        """
+        return [layer for layer in self.layers if layer.is_weighted]
+
+    @cached_property
+    def consumers(self) -> Dict[int, Tuple[int, ...]]:
+        """Map layer index -> indices of layers consuming its output."""
+        out: Dict[int, List[int]] = {layer.index: [] for layer in self.layers}
+        for layer in self.layers:
+            for src in layer.inputs:
+                out[src].append(layer.index)
+        return {k: tuple(v) for k, v in out.items()}
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All producer->consumer edges as (src, dst) index pairs."""
+        return [
+            (src, layer.index) for layer in self.layers for src in layer.inputs
+        ]
+
+    def layer_by_name(self, name: str) -> Layer:
+        """Look up a layer by its unique name.
+
+        Raises:
+            KeyError: If no layer has that name.
+        """
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"{self.name}: no layer named {name!r}")
+
+    def params_millions(self) -> float:
+        """Total parameters in millions (for Table I style reporting)."""
+        return self.total_params / 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DNNModel({self.name!r}, dataset={self.dataset!r}, "
+            f"layers={len(self.layers)}, params={self.params_millions():.2f}M)"
+        )
+
+
+def weighted_chain_edges(model: DNNModel) -> List[Tuple[int, int, int]]:
+    """Contract the layer graph onto weighted layers via output *sites*.
+
+    Weightless layers (pool/add/concat/flatten/...) execute in the
+    peripheral logic of a PIM chiplet rather than occupying crossbars, so
+    each one is assigned a *site*: the weighted layer (or network input)
+    whose chiplet materialises its output.  A weightless node sits with
+    its main-branch producer (deepest weighted path; ties -> later layer,
+    i.e. the freshly computed branch); its remaining inputs must be
+    shipped to that site, and its consumers read from that site.
+
+    This keeps residual/dense merges physical: an identity-skip chain of
+    K blocks produces K short site-to-site transfers (one per merge), not
+    K long-range re-sends of every ancestor's output.
+
+    Returns edges ``(src_site, dst_site, elements)`` where ``elements``
+    is the output volume of the immediate producer node being shipped.
+    Sites can be the network input (index 0).
+    """
+    # Longest-path weighted depth, used to pick main branches.
+    depths: Dict[int, int] = {}
+    for layer in model.layers:
+        base = max((depths[src] for src in layer.inputs), default=0)
+        depths[layer.index] = base + (1 if layer.is_weighted else 0)
+
+    site: Dict[int, int] = {}
+    edges: List[Tuple[int, int, int]] = []
+    for layer in model.layers:
+        if layer.kind is LayerKind.INPUT or layer.is_weighted:
+            site[layer.index] = layer.index
+            for src in layer.inputs:
+                src_site = site[src]
+                if src_site != layer.index:
+                    edges.append(
+                        (src_site, layer.index,
+                         model.layers[src].out_elements)
+                    )
+        else:
+            main = max(layer.inputs, key=lambda s: (depths[s], s))
+            home = site[main]
+            site[layer.index] = home
+            for src in layer.inputs:
+                if src == main:
+                    continue
+                src_site = site[src]
+                if src_site != home:
+                    edges.append(
+                        (src_site, home, model.layers[src].out_elements)
+                    )
+    return edges

@@ -1,0 +1,347 @@
+"""Layer-level DNN modelling with shape inference.
+
+This module provides the building blocks used by the model zoo
+(:mod:`repro.workloads.zoo`): a :class:`Layer` record describing one neural
+layer (weights, MACs, activation volume, producers) and a
+:class:`LayerGraphBuilder` that performs convolution/pooling shape inference
+so model definitions read like framework code.
+
+Shapes are ``(channels, height, width)`` for feature maps and
+``(features,)`` for vectors.  All counts are exact integer element counts;
+byte volumes are derived later by the traffic model so that precision is a
+single knob (:mod:`repro.workloads.traffic`).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class LayerKind(enum.Enum):
+    """The kinds of layers the workload model distinguishes.
+
+    Only ``CONV`` and ``FC`` carry weights (and therefore occupy PIM
+    chiplets); the other kinds shape the dataflow graph and contribute
+    activation traffic.
+    """
+
+    INPUT = "input"
+    CONV = "conv"
+    FC = "fc"
+    POOL = "pool"
+    GLOBAL_POOL = "global_pool"
+    ADD = "add"
+    CONCAT = "concat"
+    FLATTEN = "flatten"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One node of a DNN dataflow graph.
+
+    Attributes:
+        index: Position of the layer in the model's topological order.
+        name: Human-readable unique name (e.g. ``"conv2_1/conv1"``).
+        kind: The :class:`LayerKind`.
+        out_shape: Output tensor shape, ``(C, H, W)`` or ``(F,)``.
+        weights: Number of trainable parameters held by this layer.
+        macs: Multiply-accumulate operations for one inference.
+        inputs: Indices of producer layers (graph edges point producer
+            -> consumer).  ``INPUT`` layers have no producers.
+    """
+
+    index: int
+    name: str
+    kind: LayerKind
+    out_shape: Tuple[int, ...]
+    weights: int = 0
+    macs: int = 0
+    inputs: Tuple[int, ...] = ()
+
+    @property
+    def out_elements(self) -> int:
+        """Number of activation elements this layer emits per inference."""
+        return int(math.prod(self.out_shape))
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether the layer stores parameters (and thus occupies PIM)."""
+        return self.weights > 0
+
+    def __post_init__(self) -> None:
+        if self.weights < 0:
+            raise ValueError(f"layer {self.name!r}: negative weights")
+        if self.macs < 0:
+            raise ValueError(f"layer {self.name!r}: negative macs")
+        if not self.out_shape:
+            raise ValueError(f"layer {self.name!r}: empty output shape")
+        if any(d <= 0 for d in self.out_shape):
+            raise ValueError(
+                f"layer {self.name!r}: non-positive dim in {self.out_shape}"
+            )
+
+
+def conv_out_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> Tuple[int, int]:
+    """Standard convolution output spatial size.
+
+    Raises:
+        ValueError: If the configuration produces a non-positive size.
+    """
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"conv reduces {h}x{w} to {oh}x{ow} "
+            f"(kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return oh, ow
+
+
+class LayerGraphBuilder:
+    """Incremental builder for DNN layer graphs with shape inference.
+
+    Each ``add_*`` method appends a layer, infers its output shape from its
+    producers and returns the new layer's index so definitions can be
+    written in dataflow style::
+
+        b = LayerGraphBuilder("toy", input_shape=(3, 32, 32))
+        x = b.add_conv(b.input_index, out_channels=16, kernel=3, padding=1)
+        y = b.add_conv(x, out_channels=16, kernel=3, padding=1)
+        s = b.add_add([x, y])
+        layers = b.build()
+
+    Batch-norm parameters are folded into the preceding convolution's
+    weight count when ``batchnorm=True`` is passed to :meth:`add_conv`,
+    matching how PIM mappers fold BN at inference time.
+    """
+
+    def __init__(self, model_name: str, input_shape: Tuple[int, ...]) -> None:
+        self.model_name = model_name
+        self._layers: List[Layer] = []
+        self._append(
+            Layer(index=0, name="input", kind=LayerKind.INPUT, out_shape=input_shape)
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _append(self, layer: Layer) -> int:
+        self._layers.append(layer)
+        return layer.index
+
+    def _shape(self, index: int) -> Tuple[int, ...]:
+        try:
+            return self._layers[index].out_shape
+        except IndexError:
+            raise IndexError(
+                f"{self.model_name}: layer index {index} out of range "
+                f"({len(self._layers)} layers)"
+            ) from None
+
+    def _next_index(self) -> int:
+        return len(self._layers)
+
+    @property
+    def input_index(self) -> int:
+        """Index of the synthetic input layer (always 0)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # layer constructors
+
+    def add_conv(
+        self,
+        src: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = False,
+        batchnorm: bool = True,
+        name: Optional[str] = None,
+    ) -> int:
+        """Append a 2-D convolution (optionally with folded batch-norm)."""
+        c, h, w = self._shape(src)
+        if c % groups != 0 or out_channels % groups != 0:
+            raise ValueError(
+                f"groups={groups} does not divide channels {c}->{out_channels}"
+            )
+        oh, ow = conv_out_hw(h, w, kernel, stride, padding)
+        weights = (c // groups) * out_channels * kernel * kernel
+        if bias:
+            weights += out_channels
+        if batchnorm:
+            # Folded scale + shift per output channel.
+            weights += 2 * out_channels
+        macs = (c // groups) * out_channels * kernel * kernel * oh * ow
+        idx = self._next_index()
+        return self._append(
+            Layer(
+                index=idx,
+                name=name or f"conv{idx}",
+                kind=LayerKind.CONV,
+                out_shape=(out_channels, oh, ow),
+                weights=weights,
+                macs=macs,
+                inputs=(src,),
+            )
+        )
+
+    def add_fc(
+        self,
+        src: int,
+        out_features: int,
+        bias: bool = True,
+        name: Optional[str] = None,
+    ) -> int:
+        """Append a fully connected layer (flattens its input implicitly)."""
+        in_features = int(math.prod(self._shape(src)))
+        weights = in_features * out_features + (out_features if bias else 0)
+        idx = self._next_index()
+        return self._append(
+            Layer(
+                index=idx,
+                name=name or f"fc{idx}",
+                kind=LayerKind.FC,
+                out_shape=(out_features,),
+                weights=weights,
+                macs=in_features * out_features,
+                inputs=(src,),
+            )
+        )
+
+    def add_pool(
+        self,
+        src: int,
+        kernel: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        name: Optional[str] = None,
+    ) -> int:
+        """Append a max/avg pooling layer (weightless)."""
+        stride = kernel if stride is None else stride
+        c, h, w = self._shape(src)
+        oh, ow = conv_out_hw(h, w, kernel, stride, padding)
+        idx = self._next_index()
+        return self._append(
+            Layer(
+                index=idx,
+                name=name or f"pool{idx}",
+                kind=LayerKind.POOL,
+                out_shape=(c, oh, ow),
+                inputs=(src,),
+            )
+        )
+
+    def add_global_pool(self, src: int, name: Optional[str] = None) -> int:
+        """Append a global average pool collapsing spatial dims to 1x1."""
+        c, _h, _w = self._shape(src)
+        idx = self._next_index()
+        return self._append(
+            Layer(
+                index=idx,
+                name=name or f"gap{idx}",
+                kind=LayerKind.GLOBAL_POOL,
+                out_shape=(c, 1, 1),
+                inputs=(src,),
+            )
+        )
+
+    def add_add(self, srcs: Sequence[int], name: Optional[str] = None) -> int:
+        """Append an element-wise residual addition of two or more inputs."""
+        if len(srcs) < 2:
+            raise ValueError("residual add needs at least two inputs")
+        shapes = {self._shape(s) for s in srcs}
+        if len(shapes) != 1:
+            raise ValueError(f"residual add over mismatched shapes: {shapes}")
+        idx = self._next_index()
+        return self._append(
+            Layer(
+                index=idx,
+                name=name or f"add{idx}",
+                kind=LayerKind.ADD,
+                out_shape=next(iter(shapes)),
+                inputs=tuple(srcs),
+            )
+        )
+
+    def add_concat(self, srcs: Sequence[int], name: Optional[str] = None) -> int:
+        """Append a channel-wise concatenation (DenseNet/GoogLeNet style)."""
+        if len(srcs) < 2:
+            raise ValueError("concat needs at least two inputs")
+        shapes = [self._shape(s) for s in srcs]
+        spatial = {s[1:] for s in shapes}
+        if len(spatial) != 1:
+            raise ValueError(f"concat over mismatched spatial dims: {spatial}")
+        channels = sum(s[0] for s in shapes)
+        idx = self._next_index()
+        return self._append(
+            Layer(
+                index=idx,
+                name=name or f"concat{idx}",
+                kind=LayerKind.CONCAT,
+                out_shape=(channels,) + shapes[0][1:],
+                inputs=tuple(srcs),
+            )
+        )
+
+    def add_flatten(self, src: int, name: Optional[str] = None) -> int:
+        """Append an explicit flatten (kept for graph readability)."""
+        elements = int(math.prod(self._shape(src)))
+        idx = self._next_index()
+        return self._append(
+            Layer(
+                index=idx,
+                name=name or f"flatten{idx}",
+                kind=LayerKind.FLATTEN,
+                out_shape=(elements,),
+                inputs=(src,),
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Tuple[Layer, ...]:
+        """Finish and return the immutable layer tuple."""
+        validate_layer_graph(self._layers)
+        return tuple(self._layers)
+
+
+def validate_layer_graph(layers: Iterable[Layer]) -> None:
+    """Check structural invariants of a layer graph.
+
+    Invariants: indices are ``0..n-1`` in order, every edge points backwards
+    (producers precede consumers -- i.e. the list is a topological order),
+    exactly one ``INPUT`` layer exists and it is first, and names are unique.
+
+    Raises:
+        ValueError: If any invariant is violated.
+    """
+    layer_list = list(layers)
+    if not layer_list:
+        raise ValueError("empty layer graph")
+    names = set()
+    for pos, layer in enumerate(layer_list):
+        if layer.index != pos:
+            raise ValueError(
+                f"layer {layer.name!r}: index {layer.index} != position {pos}"
+            )
+        if layer.name in names:
+            raise ValueError(f"duplicate layer name {layer.name!r}")
+        names.add(layer.name)
+        for src in layer.inputs:
+            if not 0 <= src < pos:
+                raise ValueError(
+                    f"layer {layer.name!r}: edge from {src} is not backwards"
+                )
+        if layer.kind is LayerKind.INPUT and pos != 0:
+            raise ValueError("INPUT layer must be first")
+    if layer_list[0].kind is not LayerKind.INPUT:
+        raise ValueError("first layer must be INPUT")

@@ -1,0 +1,137 @@
+"""Concurrent DNN task mixes: the paper's Table II datacenter workloads.
+
+Table II lists five workload mixes (WL1..WL5) for the 100-chiplet system.
+Each mix is a *sequence* of DNN inference tasks -- e.g. ``16xDNN1`` means
+sixteen independent ResNet-18/ImageNet inference tasks arrive back to
+back.  The scheduler (:mod:`repro.core.mapping`) treats the expanded
+sequence as a queue and maps one task at a time, which is the paper's
+deadlock-avoidance argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from .dnn import DNNModel
+from .zoo import table1_model
+
+
+@dataclass(frozen=True)
+class DNNTask:
+    """One independent inference task instance inside a mix.
+
+    Attributes:
+        task_id: Unique id within the mix, e.g. ``"WL1/03-DNN2"``.
+        dnn_id: Table I identifier (``"DNN1"``..``"DNN13"``).
+        model: The resolved workload model.
+    """
+
+    task_id: str
+    dnn_id: str
+    model: DNNModel
+
+
+@dataclass(frozen=True)
+class TaskMix:
+    """A Table II workload mix: an ordered multiset of DNN tasks.
+
+    Attributes:
+        name: Mix identifier (``"WL1"``..``"WL5"``).
+        spec: Ordered ``(dnn_id, count)`` pairs as printed in Table II.
+        paper_total_params_billions: The total-parameter figure Table II
+            reports for the mix (for paper-vs-measured comparison).
+    """
+
+    name: str
+    spec: Tuple[Tuple[str, int], ...]
+    paper_total_params_billions: float
+
+    def tasks(self) -> List[DNNTask]:
+        """Expand the mix into its ordered task queue."""
+        out: List[DNNTask] = []
+        seq = 0
+        for dnn_id, count in self.spec:
+            model = table1_model(dnn_id)
+            for _ in range(count):
+                out.append(
+                    DNNTask(
+                        task_id=f"{self.name}/{seq:02d}-{dnn_id}",
+                        dnn_id=dnn_id,
+                        model=model,
+                    )
+                )
+                seq += 1
+        return out
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(count for _, count in self.spec)
+
+    def total_params(self) -> int:
+        """Total parameters across every task instance in the mix."""
+        return sum(
+            table1_model(dnn_id).total_params * count
+            for dnn_id, count in self.spec
+        )
+
+    def total_params_billions(self) -> float:
+        return self.total_params() / 1e9
+
+    def __iter__(self) -> Iterator[DNNTask]:
+        return iter(self.tasks())
+
+
+#: Table II mixes.  The printed table is typographically damaged in the
+#: paper PDF; the reconstruction below follows the readable multiplicities
+#: and the DNN numbering of Table I, and the per-mix paper totals are kept
+#: for comparison in EXPERIMENTS.md.
+TABLE2_MIXES: Tuple[TaskMix, ...] = (
+    TaskMix(
+        name="WL1",
+        spec=(("DNN1", 16), ("DNN2", 1), ("DNN3", 3), ("DNN4", 4),
+              ("DNN5", 2), ("DNN6", 1), ("DNN7", 1)),
+        paper_total_params_billions=1.1,
+    ),
+    TaskMix(
+        name="WL2",
+        spec=(("DNN3", 2), ("DNN8", 1), ("DNN4", 7), ("DNN7", 4),
+              ("DNN8", 2), ("DNN1", 1), ("DNN5", 1)),
+        paper_total_params_billions=1.4,
+    ),
+    TaskMix(
+        name="WL3",
+        spec=(("DNN1", 12), ("DNN2", 9), ("DNN4", 3), ("DNN5", 10),
+              ("DNN1", 12), ("DNN7", 5), ("DNN8", 1)),
+        paper_total_params_billions=8.8,
+    ),
+    TaskMix(
+        name="WL4",
+        spec=(("DNN6", 1), ("DNN2", 3), ("DNN3", 5), ("DNN6", 4),
+              ("DNN1", 3), ("DNN7", 4), ("DNN8", 2)),
+        paper_total_params_billions=3.8,
+    ),
+    TaskMix(
+        name="WL5",
+        spec=(("DNN3", 1), ("DNN8", 3), ("DNN7", 4), ("DNN2", 6),
+              ("DNN3", 4), ("DNN7", 3), ("DNN8", 2)),
+        paper_total_params_billions=1.8,
+    ),
+)
+
+
+def mix_by_name(name: str) -> TaskMix:
+    """Look up a Table II mix by name (``"WL1"``..``"WL5"``).
+
+    Raises:
+        KeyError: For unknown mix names.
+    """
+    for mix in TABLE2_MIXES:
+        if mix.name == name:
+            return mix
+    raise KeyError(f"unknown task mix {name!r} (expected WL1..WL5)")
+
+
+def all_mixes() -> Sequence[TaskMix]:
+    """All five Table II mixes in order."""
+    return TABLE2_MIXES

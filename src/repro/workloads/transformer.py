@@ -1,0 +1,221 @@
+"""Transformer kernel inventory and PIM storage analysis (paper Section IV).
+
+The paper argues that NVM (ReRAM) PIM is unsuitable for the attention
+kernels of Transformer encoders: the operand matrices of the two attention
+matrix-matrix products (``Q.K^T`` and ``A.V``) are *activations* that
+change for every input, so mapping them onto crossbars means rewriting
+cells constantly -- and the intermediate matrices are large relative to
+the static weights (the paper quotes 8.98x for BERT-Base and 2.06x for
+BERT-Tiny).  The feed-forward (FF) blocks, by contrast, are static FC
+layers that map exactly like DNN layers along an SFC.
+
+This module models an encoder stack's kernels, splits storage into
+*static* (weights, PIM-resident) and *dynamic* (intermediate matrices that
+would need crossbar rewrites), and computes the intermediate-to-weight
+storage ratio for arbitrary configurations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class KernelClass(enum.Enum):
+    """How a kernel's stationary operand behaves across inputs."""
+
+    STATIC_WEIGHT = "static"      # fixed weights -> PIM friendly
+    DYNAMIC_MATMUL = "dynamic"    # activation x activation -> PIM hostile
+    ELEMENTWISE = "elementwise"   # softmax / layernorm / residual
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Encoder-stack hyperparameters.
+
+    Attributes:
+        name: Configuration name (e.g. ``"bert-base"``).
+        num_layers: Number of encoder blocks.
+        d_model: Hidden size.
+        num_heads: Attention heads (must divide ``d_model``).
+        d_ff: Feed-forward inner size (typically ``4 * d_model``).
+        seq_len: Input sequence length.
+        vocab_size: Vocabulary for the embedding table.
+    """
+
+    name: str
+    num_layers: int
+    d_model: int
+    num_heads: int
+    d_ff: int
+    seq_len: int
+    vocab_size: int = 30522
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError(
+                f"{self.name}: heads {self.num_heads} must divide "
+                f"d_model {self.d_model}"
+            )
+        for field_name in ("num_layers", "d_model", "num_heads", "d_ff", "seq_len"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be positive")
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.num_heads
+
+
+BERT_TINY = TransformerConfig(
+    name="bert-tiny", num_layers=2, d_model=128, num_heads=2,
+    d_ff=512, seq_len=128,
+)
+BERT_BASE = TransformerConfig(
+    name="bert-base", num_layers=12, d_model=768, num_heads=12,
+    d_ff=3072, seq_len=512,
+)
+BERT_LARGE = TransformerConfig(
+    name="bert-large", num_layers=24, d_model=1024, num_heads=16,
+    d_ff=4096, seq_len=512,
+)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One computational kernel of an encoder block.
+
+    Attributes:
+        name: Kernel name, e.g. ``"attn/qk_matmul"``.
+        kind: PIM-friendliness class.
+        weight_elements: Static parameter elements (0 for dynamic kernels).
+        intermediate_elements: Activation-operand elements that would have
+            to be written into crossbars (stationary operand of a dynamic
+            matmul) plus the produced intermediate matrix that must be
+            buffered before the next kernel.
+        macs: Multiply-accumulates for one inference pass.
+    """
+
+    name: str
+    kind: KernelClass
+    weight_elements: int
+    intermediate_elements: int
+    macs: int
+
+
+def encoder_kernels(cfg: TransformerConfig) -> List[Kernel]:
+    """Kernel inventory for ONE encoder block of ``cfg``.
+
+    Static kernels: Q/K/V/output projections and the two FF layers.
+    Dynamic kernels: ``Q.K^T`` (stationary operand ``K``, produces the
+    ``h x L x L`` score matrix) and ``A.V`` (stationary operand ``V``,
+    consumes the ``h x L x L`` probability matrix).
+    """
+    d, h, L, dff = cfg.d_model, cfg.num_heads, cfg.seq_len, cfg.d_ff
+    kernels = [
+        Kernel("attn/q_proj", KernelClass.STATIC_WEIGHT, d * d, L * d, L * d * d),
+        Kernel("attn/k_proj", KernelClass.STATIC_WEIGHT, d * d, L * d, L * d * d),
+        Kernel("attn/v_proj", KernelClass.STATIC_WEIGHT, d * d, L * d, L * d * d),
+        Kernel(
+            "attn/qk_matmul",
+            KernelClass.DYNAMIC_MATMUL,
+            0,
+            # stationary K (L*d) + produced score matrix (h*L*L)
+            L * d + h * L * L,
+            h * L * L * cfg.d_head,
+        ),
+        Kernel("attn/softmax", KernelClass.ELEMENTWISE, 0, h * L * L, 0),
+        Kernel(
+            "attn/av_matmul",
+            KernelClass.DYNAMIC_MATMUL,
+            0,
+            # stationary V (L*d) + probability matrix operand (h*L*L)
+            L * d + h * L * L,
+            h * L * L * cfg.d_head,
+        ),
+        Kernel("attn/out_proj", KernelClass.STATIC_WEIGHT, d * d, L * d, L * d * d),
+        Kernel("attn/residual_ln", KernelClass.ELEMENTWISE, 2 * d, L * d, 0),
+        Kernel("ff/fc1", KernelClass.STATIC_WEIGHT, d * dff, L * dff, L * d * dff),
+        Kernel("ff/fc2", KernelClass.STATIC_WEIGHT, dff * d, L * d, L * d * dff),
+        Kernel("ff/residual_ln", KernelClass.ELEMENTWISE, 2 * d, L * d, 0),
+    ]
+    return kernels
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Static-vs-dynamic storage split for an encoder stack."""
+
+    config_name: str
+    weight_elements: int
+    intermediate_elements: int
+    dynamic_matmul_elements: int
+
+    @property
+    def intermediate_to_weight_ratio(self) -> float:
+        """Intermediate storage as a multiple of static weight storage.
+
+        The paper quotes 8.98x (BERT-Base) and 2.06x (BERT-Tiny) for this
+        metric; the exact accounting of the authors' flow is not public,
+        so EXPERIMENTS.md compares shapes (Base >> Tiny > 1) rather than
+        absolute values.
+        """
+        if self.weight_elements == 0:
+            return float("inf")
+        return self.intermediate_elements / self.weight_elements
+
+
+def storage_report(cfg: TransformerConfig) -> StorageReport:
+    """Whole-stack storage analysis for ``cfg`` (embeddings excluded)."""
+    weights = 0
+    intermediates = 0
+    dynamic = 0
+    for kernel in encoder_kernels(cfg):
+        weights += kernel.weight_elements
+        intermediates += kernel.intermediate_elements
+        if kernel.kind is KernelClass.DYNAMIC_MATMUL:
+            dynamic += kernel.intermediate_elements
+    return StorageReport(
+        config_name=cfg.name,
+        weight_elements=weights * cfg.num_layers,
+        intermediate_elements=intermediates * cfg.num_layers,
+        dynamic_matmul_elements=dynamic * cfg.num_layers,
+    )
+
+
+def ff_block_chain(cfg: TransformerConfig) -> List[Tuple[str, int]]:
+    """The static FC chain of an encoder stack, as (name, weights) pairs.
+
+    These are the layers the paper says should be mapped contiguously on
+    the SFC exactly like DNN layers (data flows i-th -> (i+1)-th chiplet).
+    """
+    chain: List[Tuple[str, int]] = []
+    for i in range(cfg.num_layers):
+        chain.append((f"enc{i}/ff/fc1", cfg.d_model * cfg.d_ff))
+        chain.append((f"enc{i}/ff/fc2", cfg.d_ff * cfg.d_model))
+    return chain
+
+
+def pim_suitability(cfg: TransformerConfig) -> dict:
+    """Summary dict used by the Section IV benchmark.
+
+    Keys: ``static_fraction`` of MACs that are PIM-friendly,
+    ``dynamic_fraction`` of MACs in activation-activation matmuls, and
+    ``rewrite_bytes_per_inference`` -- bytes that would be written into
+    crossbars per inference if dynamic matmuls used NVM PIM (endurance
+    killer).
+    """
+    static_macs = dynamic_macs = rewrite_elements = 0
+    for kernel in encoder_kernels(cfg):
+        if kernel.kind is KernelClass.STATIC_WEIGHT:
+            static_macs += kernel.macs
+        elif kernel.kind is KernelClass.DYNAMIC_MATMUL:
+            dynamic_macs += kernel.macs
+            rewrite_elements += kernel.intermediate_elements
+    total = static_macs + dynamic_macs
+    return {
+        "config": cfg.name,
+        "static_fraction": static_macs / total if total else 0.0,
+        "dynamic_fraction": dynamic_macs / total if total else 0.0,
+        "rewrite_bytes_per_inference": rewrite_elements * cfg.num_layers,
+    }

@@ -1,0 +1,64 @@
+"""Shared fixtures: small systems that keep the test suite fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.floret import build_floret
+from repro.core.sfc import build_floret_curve
+from repro.noi.kite import build_kite
+from repro.noi.mesh import build_mesh
+from repro.noi.swap import SwapSynthesisConfig, build_swap
+from repro.pim.chiplet import ChipletSpec
+from repro.workloads.dnn import DNNModel
+from repro.workloads.layers import LayerGraphBuilder
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    """6x6 mesh topology."""
+    return build_mesh(36)
+
+
+@pytest.fixture(scope="session")
+def small_kite():
+    """6x6 folded-torus (Kite) topology."""
+    return build_kite(36)
+
+
+@pytest.fixture(scope="session")
+def small_swap():
+    """36-chiplet SWAP with a tiny annealing budget (fast, deterministic)."""
+    return build_swap(
+        36, config=SwapSynthesisConfig(iterations=150, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_floret():
+    """36-chiplet, 4-petal Floret design."""
+    return build_floret(36, 4)
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return ChipletSpec.from_params()
+
+
+def make_toy_model(name: str = "toy", blocks: int = 2) -> DNNModel:
+    """A small residual CNN sized to span ~5 chiplets (2M weights each)."""
+    b = LayerGraphBuilder(name, (3, 16, 16))
+    x = b.add_conv(b.input_index, 64, kernel=3, padding=1, name="stem")
+    for i in range(blocks):
+        y = b.add_conv(x, 64, kernel=3, padding=1, name=f"b{i}/c1")
+        y = b.add_conv(y, 64, kernel=3, padding=1, name=f"b{i}/c2")
+        x = b.add_add([x, y], name=f"b{i}/add")
+    x = b.add_flatten(x, name="flatten")
+    x = b.add_fc(x, 512, name="fc1")
+    x = b.add_fc(x, 10, name="fc2")
+    return DNNModel(name, "toy", b.build())
+
+
+@pytest.fixture(scope="session")
+def toy_model():
+    return make_toy_model()

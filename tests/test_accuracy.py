@@ -1,0 +1,75 @@
+"""Unit tests: thermal-noise accuracy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pim.accuracy import (
+    BASELINE_ACCURACY_PCT,
+    MAX_DROP_PCT,
+    NOISE_SENSITIVITY,
+    accuracy_drop_pct,
+    assess,
+    effective_noise,
+)
+
+
+class TestEffectiveNoise:
+    def test_cool_pes_no_noise(self):
+        assert effective_noise([300.0, 320.0, 330.0]) == 0.0
+
+    def test_hot_pe_raises_noise(self):
+        assert effective_noise([300.0, 360.0]) > 0.0
+
+    def test_weighting_matters(self):
+        temps = [300.0, 360.0]
+        cold_heavy = effective_noise(temps, [0.9, 0.1])
+        hot_heavy = effective_noise(temps, [0.1, 0.9])
+        assert hot_heavy > cold_heavy
+
+    def test_empty_is_zero(self):
+        assert effective_noise([]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            effective_noise([300.0], [0.5, 0.5])
+
+    def test_zero_weights(self):
+        assert effective_noise([400.0], [0.0]) == 0.0
+
+
+class TestDropModel:
+    def test_zero_sigma_zero_drop(self):
+        assert accuracy_drop_pct("resnet34", 0.0) == 0.0
+
+    def test_monotone_in_sigma(self):
+        drops = [accuracy_drop_pct("resnet34", s) for s in (0.05, 0.1, 0.3)]
+        assert drops == sorted(drops)
+
+    def test_saturates(self):
+        assert accuracy_drop_pct("resnet152", 100.0) <= MAX_DROP_PCT
+
+    def test_deeper_nets_more_sensitive(self):
+        assert (
+            accuracy_drop_pct("resnet152", 0.1)
+            > accuracy_drop_pct("resnet18", 0.1)
+        )
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            accuracy_drop_pct("lenet", 0.1)
+
+    def test_all_families_calibrated(self):
+        assert set(NOISE_SENSITIVITY) == set(BASELINE_ACCURACY_PCT)
+
+
+class TestAssess:
+    def test_cool_mapping_keeps_accuracy(self):
+        report = assess("resnet50", [300.0] * 10)
+        assert report.drop_pct == 0.0
+        assert report.degraded_pct == report.baseline_pct
+
+    def test_hot_mapping_degrades(self):
+        report = assess("resnet50", [365.0] * 10)
+        assert report.drop_pct > 2.0
+        assert report.degraded_pct < report.baseline_pct

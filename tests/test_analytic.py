@@ -1,0 +1,195 @@
+"""Unit tests: analytic latency/energy models (unicast + multicast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.analytic import (
+    communication_cost,
+    flits_for_bytes,
+    multicast_energy_pj,
+    multicast_latency_cycles,
+    multicast_step_cost,
+    multicast_tree,
+    packet_latency_cycles,
+    packets_for_bytes,
+    path_pipeline_cycles,
+    transfer_energy_pj,
+    transfer_latency_cycles,
+)
+from repro.noi.topology import Chiplet, Link, Topology
+from repro.params import NoIParams
+
+
+@pytest.fixture(scope="module")
+def line():
+    chiplets = [Chiplet(i, x=i, y=0) for i in range(6)]
+    links = [Link(i, i + 1, length_mm=3.0) for i in range(5)]
+    return Topology("line", chiplets, links)
+
+
+@pytest.fixture(scope="module")
+def mline():
+    """Multicast-capable line."""
+    chiplets = [Chiplet(i, x=i, y=0) for i in range(6)]
+    links = [Link(i, i + 1, length_mm=3.0) for i in range(5)]
+    return Topology("mline", chiplets, links, multicast_capable=True)
+
+
+class TestFlitsPackets:
+    def test_flits_zero(self):
+        assert flits_for_bytes(0, NoIParams()) == 0
+
+    def test_flits_ceil(self):
+        p = NoIParams(flit_bytes=32)
+        assert flits_for_bytes(33, p) == 2
+
+    def test_flits_negative(self):
+        with pytest.raises(ValueError):
+            flits_for_bytes(-1, NoIParams())
+
+    def test_packets(self):
+        p = NoIParams(packet_bytes=64)
+        assert packets_for_bytes(0, p) == 0
+        assert packets_for_bytes(64, p) == 1
+        assert packets_for_bytes(65, p) == 2
+
+
+class TestPipeline:
+    def test_zero_hops(self, line):
+        assert path_pipeline_cycles(line, 2, 2) == 0
+
+    def test_one_hop(self, line):
+        # src router stages + wire + dst router stages.
+        p = line.params
+        expected = (
+            p.router_stage_cycles(line.router_ports(0))
+            + p.link_delay_cycles(3.0)
+            + p.router_stage_cycles(line.router_ports(1))
+        )
+        assert path_pipeline_cycles(line, 0, 1) == expected
+
+    def test_monotone_in_hops(self, line):
+        assert (
+            path_pipeline_cycles(line, 0, 3)
+            > path_pipeline_cycles(line, 0, 1)
+        )
+
+    def test_packet_latency_adds_serialization(self, line):
+        assert packet_latency_cycles(line, 0, 2) == (
+            path_pipeline_cycles(line, 0, 2) + line.params.flits_per_packet
+        )
+
+
+class TestTransferCosts:
+    def test_self_transfer_free(self, line):
+        assert transfer_latency_cycles(line, 1, 1, 1000) == 0
+        assert transfer_energy_pj(line, 1, 1, 1000) == 0.0
+
+    def test_empty_payload_free(self, line):
+        assert transfer_latency_cycles(line, 0, 1, 0) == 0
+
+    def test_latency_linear_in_flits(self, line):
+        small = transfer_latency_cycles(line, 0, 1, 32)
+        large = transfer_latency_cycles(line, 0, 1, 3200)
+        assert large - small == flits_for_bytes(3200, line.params) - 1
+
+    def test_energy_grows_with_distance(self, line):
+        near = transfer_energy_pj(line, 0, 1, 640)
+        far = transfer_energy_pj(line, 0, 4, 640)
+        assert far > near
+
+    def test_energy_scales_with_ports(self):
+        p = NoIParams()
+        star_center = [Chiplet(0, 1, 1)] + [
+            Chiplet(i, x, y) for i, (x, y) in enumerate(
+                [(0, 1), (2, 1), (1, 0), (1, 2)], start=1
+            )
+        ]
+        links = [Link(0, i, length_mm=3.0) for i in range(1, 5)]
+        star = Topology("star", star_center, links, params=p)
+        chain = Topology(
+            "chain2",
+            [Chiplet(0, 0, 0), Chiplet(1, 1, 0)],
+            [Link(0, 1, length_mm=3.0)],
+            params=p,
+        )
+        # Same hop count and length; the star's 4-port hub costs more.
+        assert (
+            transfer_energy_pj(star, 1, 0, 640)
+            > transfer_energy_pj(chain, 0, 1, 640)
+        )
+
+
+class TestMulticast:
+    def test_tree_chain(self, mline):
+        edges, nodes = multicast_tree(mline, 0, [1, 2, 3])
+        assert edges == ((0, 1), (1, 2), (2, 3))
+        assert nodes == (0, 1, 2, 3)
+
+    def test_tree_shares_prefix(self, mline):
+        edges, _ = multicast_tree(mline, 0, [3, 2])
+        # The route to 2 is a prefix of the route to 3: no duplicates.
+        assert len(edges) == 3
+
+    def test_latency_uses_deepest_path(self, mline):
+        deep = multicast_latency_cycles(mline, 0, [4], 64)
+        shallow = multicast_latency_cycles(mline, 0, [1], 64)
+        both = multicast_latency_cycles(mline, 0, [1, 4], 64)
+        assert both == deep > shallow
+
+    def test_energy_pays_tree_once(self, mline):
+        tree = multicast_energy_pj(mline, 0, [1, 2, 3], 640)
+        unicasts = sum(
+            transfer_energy_pj(mline, 0, d, 640) for d in (1, 2, 3)
+        )
+        assert tree < unicasts
+
+    def test_empty_group_free(self, mline):
+        assert multicast_latency_cycles(mline, 2, [2], 64) == 0
+        assert multicast_energy_pj(mline, 2, [], 64) == 0.0
+
+
+class TestStepCost:
+    def test_multicast_capable_uses_trees(self, mline, line):
+        groups = [(0, (1, 2, 3), 640)]
+        tree_report = multicast_step_cost(mline, groups)
+        unicast_report = multicast_step_cost(line, groups)
+        # Unicast replication injects more flits and burns more energy.
+        assert unicast_report.total_flits > tree_report.total_flits
+        assert unicast_report.energy_pj > tree_report.energy_pj
+
+    def test_packet_accounting_multicast(self, mline):
+        groups = [(0, (1, 4), 128)]
+        report = multicast_step_cost(mline, groups)
+        # Injected once: 2 packets, latency = delivery to farthest dst.
+        assert report.packet_count == packets_for_bytes(
+            128, mline.params
+        )
+        assert report.mean_packet_latency == packet_latency_cycles(
+            mline, 0, 4
+        )
+
+    def test_packet_accounting_unicast(self, line):
+        groups = [(0, (1, 4), 128)]
+        report = multicast_step_cost(line, groups)
+        assert report.packet_count == 2 * packets_for_bytes(
+            128, line.params
+        )
+
+    def test_bottleneck_latency(self, mline):
+        # Two groups sharing link (2,3) accumulate load there.
+        groups = [(2, (3,), 640), (1, (4,), 640)]
+        report = multicast_step_cost(mline, groups)
+        flits = flits_for_bytes(640, mline.params)
+        assert report.latency_cycles >= 2 * flits
+
+    def test_empty_step(self, mline):
+        report = multicast_step_cost(mline, [])
+        assert report.latency_cycles == 0
+        assert report.energy_pj == 0.0
+
+    def test_communication_cost_unicast_list(self, line):
+        report = communication_cost(line, [(0, 1, 640), (2, 3, 640)])
+        assert report.total_flits == 2 * flits_for_bytes(640, line.params)
+        assert report.energy_pj > 0

@@ -1,0 +1,138 @@
+"""Unit tests: mesh/SIAM, Kite family and SWAP builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noi.kite import (
+    _folded_position,
+    build_butter_donut,
+    build_double_butterfly,
+    build_kite,
+)
+from repro.noi.mesh import build_cmesh, build_mesh
+from repro.noi.properties import compare, summarize
+from repro.noi.swap import (
+    MAX_LINK_SPAN_PITCHES,
+    MAX_PORTS,
+    SwapSynthesisConfig,
+    build_swap,
+    design_time_traffic,
+)
+
+
+class TestMesh:
+    def test_link_count_10x10(self):
+        # 2D mesh on n x n: 2*n*(n-1) links.
+        assert build_mesh(100).num_links == 180
+
+    def test_connected(self, small_mesh):
+        assert small_mesh.is_connected()
+
+    def test_ports_bounded_by_four(self, small_mesh):
+        assert max(small_mesh.port_histogram()) <= 4
+
+    def test_corners_have_two_ports(self, small_mesh):
+        assert small_mesh.port_histogram()[2] == 4
+
+    def test_all_links_single_pitch(self, small_mesh):
+        assert small_mesh.link_length_histogram() == {1: small_mesh.num_links}
+
+    def test_cmesh_builds_connected(self):
+        topo = build_cmesh(36, concentration=4)
+        assert topo.is_connected()
+        assert topo.num_links < build_mesh(36).num_links
+
+
+class TestKite:
+    def test_folded_position_is_permutation(self):
+        for n in (4, 5, 10):
+            positions = sorted(_folded_position(i, n) for i in range(n))
+            assert positions == list(range(n))
+
+    def test_all_routers_four_port(self):
+        assert build_kite(100).port_histogram() == {4: 100}
+
+    def test_link_count_torus(self):
+        # Torus on n x n: 2*n^2 links.
+        assert build_kite(100).num_links == 200
+
+    def test_connected(self, small_kite):
+        assert small_kite.is_connected()
+
+    def test_links_mostly_two_hop(self):
+        hist = build_kite(100).link_length_histogram()
+        assert hist[2] > hist.get(1, 0)
+
+    def test_diameter_beats_mesh(self, small_kite, small_mesh):
+        assert small_kite.diameter_hops() < small_mesh.diameter_hops()
+
+    def test_butter_donut_adds_links(self, small_kite):
+        bd = build_butter_donut(36)
+        assert bd.num_links > small_kite.num_links
+        assert bd.is_connected()
+
+    def test_double_butterfly_connected(self):
+        db = build_double_butterfly(100)
+        assert db.is_connected()
+        assert db.num_links > build_mesh(100).num_links
+
+
+class TestSwap:
+    def test_connected(self, small_swap):
+        assert small_swap.is_connected()
+
+    def test_port_cap_respected(self, small_swap):
+        # Backbone gives up to 2; chords may add up to MAX_PORTS + 1
+        # transiently never beyond MAX_PORTS + backbone share.
+        assert max(small_swap.port_histogram()) <= MAX_PORTS + 1
+
+    def test_link_span_cap(self, small_swap):
+        assert max(small_swap.link_length_histogram()) <= MAX_LINK_SPAN_PITCHES
+
+    def test_deterministic_given_seed(self):
+        cfg = SwapSynthesisConfig(iterations=60, seed=3)
+        a = build_swap(25, config=cfg)
+        b = build_swap(25, config=cfg)
+        assert {(l.u, l.v) for l in a.links} == {(l.u, l.v) for l in b.links}
+
+    def test_different_seeds_differ(self):
+        a = build_swap(25, config=SwapSynthesisConfig(iterations=60, seed=3))
+        b = build_swap(25, config=SwapSynthesisConfig(iterations=60, seed=4))
+        assert {(l.u, l.v) for l in a.links} != {(l.u, l.v) for l in b.links}
+
+    def test_annealing_improves_traffic_cost(self):
+        from repro.noi.swap import _traffic_cost
+
+        traffic = design_time_traffic(25)
+        short = build_swap(
+            25, config=SwapSynthesisConfig(iterations=0, seed=3)
+        )
+        long = build_swap(
+            25, config=SwapSynthesisConfig(iterations=400, seed=3)
+        )
+        assert (
+            _traffic_cost(long.graph, traffic)
+            <= _traffic_cost(short.graph, traffic)
+        )
+
+    def test_design_time_traffic_chain_backbone(self):
+        traffic = design_time_traffic(10, seed=1)
+        chain = [(s, d) for s, d, v in traffic if v == 1.0]
+        assert chain == [(i, i + 1) for i in range(9)]
+
+
+class TestProperties:
+    def test_summarize_fields(self, small_mesh):
+        s = summarize(small_mesh)
+        assert s.num_chiplets == 36
+        assert s.num_links == small_mesh.num_links
+        assert s.mean_ports == pytest.approx(small_mesh.mean_ports())
+
+    def test_compare_keys(self, small_mesh, small_kite):
+        table = compare([summarize(small_mesh), summarize(small_kite)])
+        assert set(table) == {"siam", "kite"}
+        assert table["kite"]["links"] > table["siam"]["links"]
+
+    def test_single_hop_fraction(self, small_mesh):
+        assert summarize(small_mesh).fraction_single_hop_links() == 1.0

@@ -1,0 +1,70 @@
+"""Unit tests: fabrication-cost model (Eqs. (2)-(5))."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cost.fabrication import compare_costs, cost_ratio, normalized_cost
+from repro.params import CostParams
+
+
+class TestNormalizedCost:
+    def test_reference_like_system_costs_one(self, small_mesh):
+        params = CostParams()
+        report = normalized_cost(small_mesh, params)
+        assert report.noi_area_mm2 == pytest.approx(
+            small_mesh.noi_area_mm2()
+        )
+        assert report.normalized_cost > 0
+
+    def test_cost_grows_with_area(self, small_mesh, small_kite):
+        params = CostParams()
+        mesh_cost = normalized_cost(small_mesh, params)
+        kite_cost = normalized_cost(small_kite, params)
+        assert kite_cost.noi_area_mm2 > mesh_cost.noi_area_mm2
+        assert kite_cost.normalized_cost > mesh_cost.normalized_cost
+
+    def test_eq5_reduces_to_area_difference(self, small_mesh, small_kite):
+        params = CostParams()
+        ratio = cost_ratio(small_kite, small_mesh, params)
+        expected = math.exp(
+            params.defect_density_per_mm2
+            * (small_kite.noi_area_mm2() - small_mesh.noi_area_mm2())
+        )
+        assert ratio == pytest.approx(expected)
+
+    def test_defect_density_amplifies(self, small_mesh, small_kite):
+        low = cost_ratio(small_kite, small_mesh,
+                         CostParams(defect_density_per_mm2=0.0005))
+        high = cost_ratio(small_kite, small_mesh,
+                          CostParams(defect_density_per_mm2=0.003))
+        assert high > low > 1.0
+
+    def test_ratio_inverse(self, small_mesh, small_kite):
+        ab = cost_ratio(small_kite, small_mesh)
+        ba = cost_ratio(small_mesh, small_kite)
+        assert ab * ba == pytest.approx(1.0)
+
+
+class TestCompare:
+    def test_baseline_is_one(self, small_mesh, small_kite):
+        table = compare_costs([small_mesh, small_kite], baseline="siam")
+        assert table["siam"]["relative_cost"] == pytest.approx(1.0)
+        assert table["kite"]["relative_cost"] > 1.0
+
+    def test_unknown_baseline(self, small_mesh):
+        with pytest.raises(KeyError):
+            compare_costs([small_mesh], baseline="floret")
+
+    def test_paper_ordering_at_100(self):
+        from repro.eval import exp_cost
+
+        table = exp_cost()
+        assert (
+            table["kite"]["relative_cost"]
+            > table["siam"]["relative_cost"]
+            > table["swap"]["relative_cost"]
+            > 1.0
+        )

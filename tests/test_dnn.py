@@ -1,0 +1,124 @@
+"""Unit tests: DNNModel aggregates and the site-based graph contraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.dnn import DNNModel, weighted_chain_edges
+from repro.workloads.layers import LayerGraphBuilder
+
+from conftest import make_toy_model
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return make_toy_model()
+
+
+class TestAggregates:
+    def test_total_params_positive(self, toy):
+        assert toy.total_params > 0
+
+    def test_total_params_is_sum(self, toy):
+        assert toy.total_params == sum(l.weights for l in toy.layers)
+
+    def test_total_macs_is_sum(self, toy):
+        assert toy.total_macs == sum(l.macs for l in toy.layers)
+
+    def test_num_layers(self, toy):
+        assert toy.num_layers == len(toy.layers)
+
+    def test_total_activations_counts_fanout_twice(self):
+        # x feeds both a conv and the residual add -> counted twice.
+        b = LayerGraphBuilder("t", (2, 4, 4))
+        x = b.add_conv(b.input_index, 2, kernel=3, padding=1, name="c0")
+        y = b.add_conv(x, 2, kernel=3, padding=1, name="c1")
+        b.add_add([x, y], name="add")
+        model = DNNModel("t", "toy", b.build())
+        # edges: input->c0 (32), c0->c1 (32), c0->add (32), c1->add (32)
+        assert model.total_activations == 32 * 4
+
+    def test_params_millions(self, toy):
+        assert toy.params_millions() == pytest.approx(toy.total_params / 1e6)
+
+
+class TestStructure:
+    def test_weight_layers_in_order(self, toy):
+        weighted = toy.weight_layers()
+        assert all(l.is_weighted for l in weighted)
+        indices = [l.index for l in weighted]
+        assert indices == sorted(indices)
+
+    def test_consumers_inverse_of_inputs(self, toy):
+        consumers = toy.consumers
+        for layer in toy.layers:
+            for src in layer.inputs:
+                assert layer.index in consumers[src]
+
+    def test_edges_match_inputs(self, toy):
+        edges = toy.edges()
+        assert len(edges) == sum(len(l.inputs) for l in toy.layers)
+
+    def test_layer_by_name(self, toy):
+        assert toy.layer_by_name("fc2").name == "fc2"
+
+    def test_layer_by_name_missing(self, toy):
+        with pytest.raises(KeyError):
+            toy.layer_by_name("nope")
+
+
+class TestSiteContraction:
+    """weighted_chain_edges must keep merges physical (one transfer per
+
+    merge, not per ancestor)."""
+
+    def _residual_chain(self, blocks: int) -> DNNModel:
+        b = LayerGraphBuilder("rc", (4, 8, 8))
+        x = b.add_conv(b.input_index, 4, kernel=3, padding=1, name="stem")
+        for i in range(blocks):
+            y = b.add_conv(x, 4, kernel=3, padding=1, name=f"b{i}c1")
+            y = b.add_conv(y, 4, kernel=3, padding=1, name=f"b{i}c2")
+            x = b.add_add([x, y], name=f"b{i}add")
+        b.add_fc(x, 10, name="fc")
+        return DNNModel("rc", "toy", b.build())
+
+    def test_identity_chain_edges_linear_in_depth(self):
+        """K residual blocks -> O(K) edges, not O(K^2)."""
+        e2 = len(weighted_chain_edges(self._residual_chain(2)))
+        e8 = len(weighted_chain_edges(self._residual_chain(8)))
+        # Each extra block adds a constant number of edges (3).
+        assert e8 - e2 == 3 * 6
+
+    def test_edges_point_forward(self, toy):
+        for src, dst, _vol in weighted_chain_edges(toy):
+            assert src < dst
+
+    def test_edge_volumes_positive(self, toy):
+        for _src, _dst, vol in weighted_chain_edges(toy):
+            assert vol > 0
+
+    def test_all_weighted_layers_reached(self, toy):
+        """Every weighted layer except the first receives an edge."""
+        weighted = [l.index for l in toy.weight_layers()]
+        receivers = {dst for _s, dst, _v in weighted_chain_edges(toy)}
+        for idx in weighted[1:]:
+            assert idx in receivers
+
+    def test_skip_edge_present(self):
+        model = self._residual_chain(1)
+        edges = weighted_chain_edges(model)
+        # The bypass (stem -> b0c2's site) must exist alongside the chain.
+        stem = model.layer_by_name("stem").index
+        c2 = model.layer_by_name("b0c2").index
+        assert (stem, c2) in [(s, d) for s, d, _ in edges]
+
+    def test_pool_contracts_to_producer_site(self):
+        b = LayerGraphBuilder("p", (4, 8, 8))
+        c1 = b.add_conv(b.input_index, 4, kernel=3, padding=1, name="c1")
+        p = b.add_pool(c1, kernel=2, name="pool")
+        c2 = b.add_conv(p, 4, kernel=3, padding=1, name="c2")
+        model = DNNModel("p", "toy", b.build())
+        edges = weighted_chain_edges(model)
+        # c1 -> c2 edge carries the POOLED volume (pool runs at c1's site).
+        vols = {(s, d): v for s, d, v in edges}
+        assert vols[(c1, c2)] == model.layers[p].out_elements

@@ -1,0 +1,77 @@
+"""Unit tests: heterogeneous transformer acceleration (Section IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hetero import (
+    HeteroParams,
+    compare_systems,
+    evaluate_heterogeneous,
+    evaluate_pim_only,
+)
+from repro.workloads.transformer import BERT_BASE, BERT_TINY
+
+
+class TestPimOnly:
+    def test_pays_writes(self):
+        report = evaluate_pim_only(BERT_TINY)
+        assert report.cell_writes_per_inference > 0
+        assert report.write_energy_pj > 0
+
+    def test_finite_lifetime(self):
+        report = evaluate_pim_only(BERT_TINY)
+        assert report.lifetime_inferences() != float("inf")
+        assert report.lifetime_inferences() > 0
+
+    def test_writes_scale_with_model(self):
+        tiny = evaluate_pim_only(BERT_TINY)
+        base = evaluate_pim_only(BERT_BASE)
+        assert (
+            base.cell_writes_per_inference > tiny.cell_writes_per_inference
+        )
+
+
+class TestHeterogeneous:
+    def test_no_writes(self):
+        report = evaluate_heterogeneous(BERT_TINY)
+        assert report.cell_writes_per_inference == 0
+        assert report.write_energy_pj == 0.0
+        assert report.lifetime_inferences() == float("inf")
+
+    def test_pays_crossings(self):
+        report = evaluate_heterogeneous(BERT_TINY)
+        assert report.crossing_energy_pj > 0
+
+    def test_faster_than_pim_only(self):
+        for cfg in (BERT_TINY, BERT_BASE):
+            pim = evaluate_pim_only(cfg)
+            hetero = evaluate_heterogeneous(cfg)
+            assert hetero.latency_cycles < pim.latency_cycles
+            assert hetero.total_energy_pj < pim.total_energy_pj
+
+    def test_more_islands_helps(self):
+        slow = evaluate_heterogeneous(
+            BERT_BASE, params=HeteroParams(tc_islands=1)
+        )
+        fast = evaluate_heterogeneous(
+            BERT_BASE, params=HeteroParams(tc_islands=8)
+        )
+        assert fast.latency_cycles < slow.latency_cycles
+
+    def test_endurance_knob(self):
+        report = evaluate_pim_only(BERT_TINY)
+        short = report.lifetime_inferences(
+            HeteroParams(reram_endurance_writes=1e6)
+        )
+        long = report.lifetime_inferences(
+            HeteroParams(reram_endurance_writes=1e9)
+        )
+        assert long == pytest.approx(1000 * short)
+
+
+class TestCompare:
+    def test_both_systems_present(self):
+        reports = compare_systems(BERT_TINY)
+        assert set(reports) == {"pim-only", "heterogeneous"}
+        assert reports["pim-only"].config_name == "bert-tiny"

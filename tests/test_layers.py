@@ -1,0 +1,210 @@
+"""Unit tests: layer records and shape-inference builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.layers import (
+    Layer,
+    LayerGraphBuilder,
+    LayerKind,
+    conv_out_hw,
+    validate_layer_graph,
+)
+
+
+class TestConvOutHw:
+    def test_same_padding(self):
+        assert conv_out_hw(32, 32, kernel=3, stride=1, padding=1) == (32, 32)
+
+    def test_stride_two_halves(self):
+        assert conv_out_hw(224, 224, kernel=7, stride=2, padding=3) == (112, 112)
+
+    def test_no_padding_shrinks(self):
+        assert conv_out_hw(32, 32, kernel=3, stride=1, padding=0) == (30, 30)
+
+    def test_pool_like(self):
+        assert conv_out_hw(8, 8, kernel=2, stride=2, padding=0) == (4, 4)
+
+    def test_rectangular_input(self):
+        assert conv_out_hw(16, 8, kernel=3, stride=1, padding=1) == (16, 8)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_hw(2, 2, kernel=5, stride=1, padding=0)
+
+
+class TestLayer:
+    def test_out_elements(self):
+        layer = Layer(0, "x", LayerKind.INPUT, (3, 4, 5))
+        assert layer.out_elements == 60
+
+    def test_weighted_flag(self):
+        weightless = Layer(0, "p", LayerKind.INPUT, (1,))
+        weighted = Layer(0, "c", LayerKind.CONV, (1,), weights=10, macs=10)
+        assert not weightless.is_weighted
+        assert weighted.is_weighted
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="negative weights"):
+            Layer(0, "bad", LayerKind.CONV, (1,), weights=-1)
+
+    def test_negative_macs_rejected(self):
+        with pytest.raises(ValueError, match="negative macs"):
+            Layer(0, "bad", LayerKind.CONV, (1,), macs=-1)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError, match="empty output shape"):
+            Layer(0, "bad", LayerKind.CONV, ())
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError, match="non-positive dim"):
+            Layer(0, "bad", LayerKind.CONV, (0, 3, 3))
+
+
+class TestBuilderConv:
+    def test_conv_shape(self):
+        b = LayerGraphBuilder("t", (3, 32, 32))
+        idx = b.add_conv(b.input_index, 16, kernel=3, padding=1)
+        layers = b.build()
+        assert layers[idx].out_shape == (16, 32, 32)
+
+    def test_conv_weights_with_bn(self):
+        b = LayerGraphBuilder("t", (3, 8, 8))
+        idx = b.add_conv(b.input_index, 4, kernel=3, padding=1,
+                         batchnorm=True)
+        # 3*4*9 kernel weights + 2*4 folded BN.
+        assert b.build()[idx].weights == 108 + 8
+
+    def test_conv_weights_without_bn(self):
+        b = LayerGraphBuilder("t", (3, 8, 8))
+        idx = b.add_conv(b.input_index, 4, kernel=3, padding=1,
+                         batchnorm=False)
+        assert b.build()[idx].weights == 108
+
+    def test_conv_bias(self):
+        b = LayerGraphBuilder("t", (3, 8, 8))
+        idx = b.add_conv(b.input_index, 4, kernel=1, bias=True,
+                         batchnorm=False)
+        assert b.build()[idx].weights == 12 + 4
+
+    def test_conv_macs(self):
+        b = LayerGraphBuilder("t", (3, 8, 8))
+        idx = b.add_conv(b.input_index, 4, kernel=3, padding=1)
+        # 3*4*9 per output pixel, 64 pixels.
+        assert b.build()[idx].macs == 108 * 64
+
+    def test_grouped_conv(self):
+        b = LayerGraphBuilder("t", (4, 8, 8))
+        idx = b.add_conv(b.input_index, 8, kernel=3, padding=1, groups=2,
+                         batchnorm=False)
+        assert b.build()[idx].weights == (4 // 2) * 8 * 9
+
+    def test_groups_must_divide(self):
+        b = LayerGraphBuilder("t", (3, 8, 8))
+        with pytest.raises(ValueError, match="groups"):
+            b.add_conv(b.input_index, 4, kernel=3, groups=2)
+
+
+class TestBuilderOtherLayers:
+    def test_fc_flattens(self):
+        b = LayerGraphBuilder("t", (4, 2, 2))
+        idx = b.add_fc(b.input_index, 10)
+        layer = b.build()[idx]
+        assert layer.out_shape == (10,)
+        assert layer.weights == 16 * 10 + 10
+
+    def test_fc_no_bias(self):
+        b = LayerGraphBuilder("t", (4, 2, 2))
+        idx = b.add_fc(b.input_index, 10, bias=False)
+        assert b.build()[idx].weights == 160
+
+    def test_pool_defaults_stride_to_kernel(self):
+        b = LayerGraphBuilder("t", (4, 8, 8))
+        idx = b.add_pool(b.input_index, kernel=2)
+        assert b.build()[idx].out_shape == (4, 4, 4)
+
+    def test_global_pool(self):
+        b = LayerGraphBuilder("t", (4, 8, 8))
+        idx = b.add_global_pool(b.input_index)
+        assert b.build()[idx].out_shape == (4, 1, 1)
+
+    def test_add_requires_matching_shapes(self):
+        b = LayerGraphBuilder("t", (4, 8, 8))
+        a = b.add_conv(b.input_index, 4, kernel=3, padding=1)
+        c = b.add_conv(b.input_index, 8, kernel=3, padding=1)
+        with pytest.raises(ValueError, match="mismatched"):
+            b.add_add([a, c])
+
+    def test_add_requires_two_inputs(self):
+        b = LayerGraphBuilder("t", (4, 8, 8))
+        with pytest.raises(ValueError, match="two inputs"):
+            b.add_add([b.input_index])
+
+    def test_concat_sums_channels(self):
+        b = LayerGraphBuilder("t", (4, 8, 8))
+        a = b.add_conv(b.input_index, 4, kernel=1)
+        c = b.add_conv(b.input_index, 6, kernel=1)
+        idx = b.add_concat([a, c])
+        assert b.build()[idx].out_shape == (10, 8, 8)
+
+    def test_concat_rejects_mismatched_spatial(self):
+        b = LayerGraphBuilder("t", (4, 8, 8))
+        a = b.add_conv(b.input_index, 4, kernel=1)
+        c = b.add_pool(b.input_index, kernel=2)
+        with pytest.raises(ValueError, match="spatial"):
+            b.add_concat([a, c])
+
+    def test_flatten(self):
+        b = LayerGraphBuilder("t", (4, 2, 3))
+        idx = b.add_flatten(b.input_index)
+        assert b.build()[idx].out_shape == (24,)
+
+    def test_bad_source_index(self):
+        b = LayerGraphBuilder("t", (4, 2, 3))
+        with pytest.raises(IndexError):
+            b.add_conv(99, 4, kernel=1)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        b = LayerGraphBuilder("t", (3, 8, 8))
+        b.add_conv(b.input_index, 4, kernel=1)
+        validate_layer_graph(b.build())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_layer_graph([])
+
+    def test_duplicate_names_rejected(self):
+        layers = [
+            Layer(0, "input", LayerKind.INPUT, (1,)),
+            Layer(1, "x", LayerKind.CONV, (1,), weights=1, macs=1, inputs=(0,)),
+            Layer(2, "x", LayerKind.CONV, (1,), weights=1, macs=1, inputs=(1,)),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_layer_graph(layers)
+
+    def test_forward_edge_rejected(self):
+        layers = [
+            Layer(0, "input", LayerKind.INPUT, (1,)),
+            Layer(1, "a", LayerKind.CONV, (1,), weights=1, macs=1, inputs=(2,)),
+            Layer(2, "b", LayerKind.CONV, (1,), weights=1, macs=1, inputs=(0,)),
+        ]
+        with pytest.raises(ValueError, match="backwards"):
+            validate_layer_graph(layers)
+
+    def test_index_mismatch_rejected(self):
+        layers = [
+            Layer(0, "input", LayerKind.INPUT, (1,)),
+            Layer(5, "a", LayerKind.CONV, (1,), weights=1, macs=1, inputs=(0,)),
+        ]
+        with pytest.raises(ValueError, match="position"):
+            validate_layer_graph(layers)
+
+    def test_first_layer_must_be_input(self):
+        layers = [
+            Layer(0, "a", LayerKind.CONV, (1,), weights=1, macs=1),
+        ]
+        with pytest.raises(ValueError, match="INPUT"):
+            validate_layer_graph(layers)

@@ -1,0 +1,120 @@
+"""Unit tests: NSGA-II machinery and the mapping MOO."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.moo import (
+    MappingCandidate,
+    MappingProblem,
+    _crowding_distance,
+    _knee_point,
+    _mutate,
+    _non_dominated_sort,
+    _order_crossover,
+    optimize_mapping,
+)
+from repro.net.perf import TaskPerf
+from repro.noc3d.grid3d import build_floret_3d
+from repro.workloads.zoo import build_model
+
+
+def cand(edp: float, peak: float) -> MappingCandidate:
+    perf = TaskPerf("t", "m", 1, 1, 1, 1.0, 1.0, 1.0, 1)
+    return MappingCandidate((0,), edp=edp, peak_k=peak, perf=perf)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert cand(1, 1).dominates(cand(2, 2))
+
+    def test_partial_no_dominance(self):
+        assert not cand(1, 3).dominates(cand(2, 2))
+        assert not cand(2, 2).dominates(cand(1, 3))
+
+    def test_equal_no_dominance(self):
+        assert not cand(1, 1).dominates(cand(1, 1))
+
+
+class TestSorting:
+    def test_two_fronts(self):
+        pop = [cand(1, 1), cand(2, 2), cand(0.5, 3)]
+        fronts = _non_dominated_sort(pop)
+        assert set(fronts[0]) == {0, 2}
+        assert fronts[1] == [1]
+
+    def test_all_nondominated(self):
+        pop = [cand(1, 3), cand(2, 2), cand(3, 1)]
+        fronts = _non_dominated_sort(pop)
+        assert len(fronts) == 1
+
+    def test_crowding_extremes_infinite(self):
+        pop = [cand(1, 3), cand(2, 2), cand(3, 1)]
+        dist = _crowding_distance(pop, [0, 1, 2])
+        assert dist[0] == float("inf")
+        assert dist[2] == float("inf")
+        assert 0 < dist[1] < float("inf")
+
+
+class TestOperators:
+    def test_crossover_preserves_genes(self):
+        rng = random.Random(0)
+        pa = tuple(range(10))
+        pb = tuple(reversed(range(10)))
+        for _ in range(20):
+            child = _order_crossover(rng, pa, pb)
+            assert sorted(child) == list(range(10))
+
+    def test_mutation_keeps_distinct(self):
+        rng = random.Random(1)
+        genome = list(range(8))
+        for _ in range(50):
+            _mutate(rng, genome, num_pes=20, rate=0.5)
+            assert len(set(genome)) == 8
+            assert all(0 <= g < 20 for g in genome)
+
+    def test_knee_point_prefers_balanced(self):
+        front = [cand(1, 10), cand(2, 2), cand(10, 1)]
+        assert _knee_point(front) is front[1]
+
+
+class TestOptimize:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        design = build_floret_3d(36, 4)
+        return MappingProblem(design, build_model("resnet18", "cifar10"))
+
+    def test_small_run(self, problem):
+        result = optimize_mapping(problem, population_size=8, generations=3,
+                                  seed=1)
+        assert len(result.pareto_front) >= 1
+        assert result.evaluations > 8
+
+    def test_joint_within_budget(self, problem):
+        result = optimize_mapping(problem, population_size=8, generations=3,
+                                  seed=1)
+        assert result.joint.edp <= result.performance_only.edp * 1.10 + 1e-6
+
+    def test_joint_no_hotter(self, problem):
+        result = optimize_mapping(problem, population_size=8, generations=3,
+                                  seed=1)
+        assert result.joint.peak_k <= result.performance_only.peak_k + 1e-9
+        assert result.peak_reduction_k >= 0
+
+    def test_performance_mapping_is_sfc_prefix(self, problem):
+        mapping = problem.performance_mapping()
+        assert mapping == tuple(
+            problem.design.allocation_order[: problem.genome_length]
+        )
+
+    def test_evaluation_cached(self, problem):
+        a = problem.evaluate(problem.performance_mapping())
+        b = problem.evaluate(problem.performance_mapping())
+        assert a is b
+
+    def test_model_too_big_rejected(self):
+        design = build_floret_3d(16, 4)
+        with pytest.raises(ValueError, match="maximal PEs|PEs; stack"):
+            MappingProblem(design, build_model("vgg19", "imagenet"))

@@ -1,0 +1,104 @@
+"""Unit tests: 3D PE grids and the 3D SFC NoC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc3d.grid3d import (
+    VERTICAL_LINK_MM,
+    Grid3D,
+    build_floret_3d,
+    build_mesh_3d,
+    grid_for_pes,
+)
+
+
+class TestGrid3D:
+    def test_index_roundtrip(self):
+        grid = Grid3D(cols=5, rows=5, tiers=4)
+        for i in range(grid.num_pes):
+            assert grid.index(*grid.coords(i)) == i
+
+    def test_num_pes(self):
+        assert Grid3D(5, 5, 4).num_pes == 100
+
+    def test_out_of_range_index(self):
+        grid = Grid3D(2, 2, 2)
+        with pytest.raises(IndexError):
+            grid.coords(8)
+        with pytest.raises(IndexError):
+            grid.index(2, 0, 0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Grid3D(0, 2, 2)
+
+    def test_bottom_tier_indices(self):
+        grid = Grid3D(3, 3, 2)
+        assert grid.bottom_tier_indices() == list(range(9))
+
+    def test_grid_for_pes(self):
+        grid = grid_for_pes(100, tiers=4)
+        assert (grid.cols, grid.rows, grid.tiers) == (5, 5, 4)
+
+    def test_grid_for_pes_indivisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            grid_for_pes(101, tiers=4)
+
+
+class TestFloret3D:
+    def test_connected_chain(self):
+        design = build_floret_3d(100, 4)
+        assert design.topology.is_connected()
+        # Pure SFC chain: exactly n-1 links.
+        assert design.topology.num_links == 99
+
+    def test_allocation_order_is_permutation(self):
+        design = build_floret_3d(64, 4)
+        assert sorted(design.allocation_order) == list(range(64))
+
+    def test_order_walks_tiers_bottom_up(self):
+        design = build_floret_3d(100, 4)
+        zs = [design.grid.coords(i)[2] for i in design.allocation_order]
+        # Tier indices are non-decreasing along the SFC.
+        assert zs == sorted(zs)
+
+    def test_start_at_top_reverses(self):
+        design = build_floret_3d(100, 4, start_at_bottom=False)
+        zs = [design.grid.coords(i)[2] for i in design.allocation_order]
+        assert zs == sorted(zs, reverse=True)
+
+    def test_vertical_links_are_mivs(self):
+        design = build_floret_3d(100, 4)
+        vertical = [l for l in design.topology.links if l.vertical]
+        assert len(vertical) == 3  # one MIV per tier crossing
+        for link in vertical:
+            assert link.length_mm == pytest.approx(VERTICAL_LINK_MM)
+
+    def test_vertical_links_connect_stacked_pes(self):
+        design = build_floret_3d(100, 4)
+        for link in design.topology.links:
+            if link.vertical:
+                a = design.grid.coords(link.u)
+                b = design.grid.coords(link.v)
+                assert a[:2] == b[:2]
+                assert abs(a[2] - b[2]) == 1
+
+    def test_multicast_capable(self):
+        assert build_floret_3d(36, 4).topology.multicast_capable
+
+
+class TestMesh3D:
+    def test_connected(self):
+        topo, grid = build_mesh_3d(100, 4)
+        assert topo.is_connected()
+        assert grid.num_pes == 100
+
+    def test_link_count(self):
+        topo, grid = build_mesh_3d(100, 4)
+        # Per tier 2*5*4 = 40 planar links x 4 tiers + 75 vertical.
+        assert topo.num_links == 160 + 75
+
+    def test_max_degree(self):
+        topo, _grid = build_mesh_3d(100, 4)
+        assert max(topo.port_histogram()) <= 6

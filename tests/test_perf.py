@@ -1,0 +1,93 @@
+"""Unit tests: end-to-end task performance evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapping import ContiguousMapper
+from repro.net.perf import evaluate_task
+from repro.pim.allocation import plan_allocation
+from repro.pim.chiplet import ChipletSpec
+
+from conftest import make_toy_model
+
+
+@pytest.fixture(scope="module")
+def setup(small_floret):
+    model = make_toy_model()
+    spec = ChipletSpec.from_params()
+    plan = plan_allocation(model, spec)
+    mapper = ContiguousMapper(
+        small_floret.allocation_order, small_floret.topology
+    )
+    placement = mapper.map_task("t", model, plan, frozenset(range(36)))
+    return small_floret.topology, model, plan, placement, spec
+
+
+class TestEvaluateTask:
+    def test_basic_fields(self, setup):
+        topo, model, plan, placement, spec = setup
+        perf = evaluate_task(
+            topo, model, plan, placement.chiplet_ids, task_id="t", spec=spec
+        )
+        assert perf.task_id == "t"
+        assert perf.latency_cycles > 0
+        assert perf.compute_latency_cycles > 0
+        assert perf.compute_energy_pj > 0
+        assert perf.num_chiplets == plan.num_chiplets
+
+    def test_latency_at_least_components_max(self, setup):
+        topo, model, plan, placement, spec = setup
+        perf = evaluate_task(topo, model, plan, placement.chiplet_ids,
+                             spec=spec)
+        assert perf.latency_cycles >= perf.compute_latency_cycles
+        assert perf.latency_cycles >= perf.noi_latency_cycles
+        assert perf.latency_cycles <= (
+            perf.compute_latency_cycles + perf.noi_latency_cycles
+        )
+
+    def test_edp(self, setup):
+        topo, model, plan, placement, spec = setup
+        perf = evaluate_task(topo, model, plan, placement.chiplet_ids,
+                             spec=spec)
+        assert perf.edp == pytest.approx(
+            perf.total_energy_pj * perf.latency_cycles
+        )
+
+    def test_mean_packet_latency(self, setup):
+        topo, model, plan, placement, spec = setup
+        perf = evaluate_task(topo, model, plan, placement.chiplet_ids,
+                             spec=spec)
+        assert perf.packet_count > 0
+        assert perf.mean_packet_latency > 0
+
+    def test_placement_size_mismatch(self, setup):
+        topo, model, plan, placement, spec = setup
+        with pytest.raises(ValueError, match="placement"):
+            evaluate_task(topo, model, plan, placement.chiplet_ids[:-1],
+                          spec=spec)
+
+    def test_contiguous_beats_scattered(self, setup):
+        topo, model, plan, placement, spec = setup
+        contiguous = evaluate_task(topo, model, plan,
+                                   placement.chiplet_ids, spec=spec)
+        # Scatter the same task across distant chiplets.
+        n = plan.num_chiplets
+        stride = 36 // n
+        scattered_ids = tuple(i * stride for i in range(n))
+        scattered = evaluate_task(topo, model, plan, scattered_ids,
+                                  spec=spec)
+        assert scattered.noi_energy_pj > contiguous.noi_energy_pj
+        assert (
+            scattered.mean_packet_latency > contiguous.mean_packet_latency
+        )
+
+    def test_compute_invariant_to_placement(self, setup):
+        topo, model, plan, placement, spec = setup
+        a = evaluate_task(topo, model, plan, placement.chiplet_ids,
+                          spec=spec)
+        n = plan.num_chiplets
+        other_ids = tuple(35 - i for i in range(n))
+        b = evaluate_task(topo, model, plan, other_ids, spec=spec)
+        assert a.compute_latency_cycles == b.compute_latency_cycles
+        assert a.compute_energy_pj == b.compute_energy_pj

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.analytic import (
+    flits_for_bytes,
+    packets_for_bytes,
+    transfer_energy_pj,
+    transfer_latency_cycles,
+)
+from repro.noc3d.grid3d import Grid3D
+from repro.noi.mesh import build_mesh
+from repro.params import NoIParams, PIMParams
+from repro.pim.chiplet import ChipletSpec
+from repro.pim.reram import (
+    conductance_window,
+    crossbars_for_weights,
+    weight_noise_sigma,
+)
+from repro.thermal.model import ThermalModel
+
+MESH = build_mesh(16)
+GRID = Grid3D(3, 3, 2)
+THERMAL = ThermalModel(GRID)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=st.integers(min_value=0, max_value=10**7))
+def test_flits_packets_consistent(payload):
+    p = NoIParams()
+    flits = flits_for_bytes(payload, p)
+    packets = packets_for_bytes(payload, p)
+    assert flits * p.flit_bytes >= payload
+    assert packets * p.packet_bytes >= payload
+    if payload > 0:
+        assert (flits - 1) * p.flit_bytes < payload
+        assert (packets - 1) * p.packet_bytes < payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+    payload=st.integers(min_value=1, max_value=10**6),
+)
+def test_transfer_costs_nonnegative_and_symmetric_free(src, dst, payload):
+    latency = transfer_latency_cycles(MESH, src, dst, payload)
+    energy = transfer_energy_pj(MESH, src, dst, payload)
+    assert latency >= 0
+    assert energy >= 0.0
+    if src == dst:
+        assert latency == 0 and energy == 0.0
+    else:
+        assert latency > 0 and energy > 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+    small=st.integers(min_value=1, max_value=1000),
+    extra=st.integers(min_value=1, max_value=1000),
+)
+def test_transfer_latency_monotone_in_payload(src, dst, small, extra):
+    a = transfer_latency_cycles(MESH, src, dst, small)
+    b = transfer_latency_cycles(MESH, src, dst, small + extra)
+    assert b >= a
+
+
+@settings(max_examples=60, deadline=None)
+@given(temperature=st.floats(min_value=250.0, max_value=450.0))
+def test_conductance_window_bounded(temperature):
+    w = conductance_window(temperature)
+    assert 0.0 < w <= 1.0
+    sigma = weight_noise_sigma(temperature)
+    assert 0.0 <= sigma < 1.0
+    assert sigma + w == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t1=st.floats(min_value=300.0, max_value=400.0),
+    dt=st.floats(min_value=0.0, max_value=50.0),
+)
+def test_noise_monotone_in_temperature(t1, dt):
+    assert weight_noise_sigma(t1 + dt) >= weight_noise_sigma(t1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weights=st.integers(min_value=0, max_value=10**8))
+def test_crossbar_count_covers_weights(weights):
+    spec = ChipletSpec.from_params().crossbar
+    n = crossbars_for_weights(weights, spec)
+    assert n * spec.weights_capacity >= weights
+    if weights > 0:
+        assert (n - 1) * spec.weights_capacity < weights
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    powers=st.lists(
+        st.floats(min_value=0.0, max_value=5.0),
+        min_size=18, max_size=18,
+    )
+)
+def test_thermal_solution_above_ambient(powers):
+    report = THERMAL.solve(np.array(powers))
+    assert (report.temperatures_k >= 300.0 - 1e-6).all()
+    assert report.peak_k >= report.mean_k
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    index=st.integers(min_value=0, max_value=17),
+    power=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_thermal_monotone_in_power(index, power):
+    p = np.zeros(18)
+    p[index] = power
+    low = THERMAL.solve(p).peak_k
+    high = THERMAL.solve(2 * p).peak_k
+    assert high > low
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bits_per_cell=st.sampled_from([1, 2, 4]),
+    weight_bits=st.sampled_from([4, 8, 16]),
+)
+def test_pim_capacity_positive(bits_per_cell, weight_bits):
+    params = PIMParams(bits_per_cell=bits_per_cell, weight_bits=weight_bits)
+    assert params.cells_per_weight >= 1
+    assert params.chiplet_weight_capacity > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cols=st.integers(min_value=1, max_value=6),
+    rows=st.integers(min_value=1, max_value=6),
+    tiers=st.integers(min_value=1, max_value=4),
+)
+def test_grid3d_roundtrip_property(cols, rows, tiers):
+    grid = Grid3D(cols, rows, tiers)
+    for i in range(0, grid.num_pes, max(1, grid.num_pes // 7)):
+        assert grid.index(*grid.coords(i)) == i

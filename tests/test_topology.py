@@ -1,0 +1,154 @@
+"""Unit tests: the Topology substrate."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.noi.topology import (
+    Chiplet,
+    Link,
+    Topology,
+    grid_chiplets,
+    grid_dimensions,
+)
+
+
+def line_topology(n: int = 4) -> Topology:
+    chiplets = [Chiplet(i, x=i, y=0) for i in range(n)]
+    links = [Link(i, i + 1, length_mm=3.0) for i in range(n - 1)]
+    return Topology("line", chiplets, links)
+
+
+class TestConstruction:
+    def test_indices_must_be_dense(self):
+        with pytest.raises(ValueError, match="dense"):
+            Topology("bad", [Chiplet(1, 0, 0)], [])
+
+    def test_position_clash_rejected(self):
+        with pytest.raises(ValueError, match="multiple chiplets"):
+            Topology(
+                "bad",
+                [Chiplet(0, 0, 0), Chiplet(1, 0, 0)],
+                [],
+            )
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="self-link"):
+            Link(1, 1, length_mm=1.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="negative length"):
+            Link(0, 1, length_mm=-1.0)
+
+    def test_duplicate_link_rejected(self):
+        chiplets = [Chiplet(0, 0, 0), Chiplet(1, 1, 0)]
+        with pytest.raises(ValueError, match="duplicate link"):
+            Topology("bad", chiplets,
+                     [Link(0, 1, 1.0), Link(1, 0, 1.0)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown chiplet"):
+            Topology("bad", [Chiplet(0, 0, 0)], [Link(0, 5, 1.0)])
+
+
+class TestQueries:
+    def test_hops_line(self):
+        topo = line_topology(5)
+        assert topo.hops(0, 4) == 4
+        assert topo.hops(2, 2) == 0
+
+    def test_hops_symmetric(self):
+        topo = line_topology(5)
+        assert topo.hops(1, 4) == topo.hops(4, 1)
+
+    def test_route_endpoints(self):
+        topo = line_topology(4)
+        route = topo.route(0, 3)
+        assert route[0] == 0 and route[-1] == 3
+        assert len(route) == 4
+
+    def test_route_self(self):
+        assert line_topology(3).route(1, 1) == (1,)
+
+    def test_disconnected_raises(self):
+        chiplets = [Chiplet(0, 0, 0), Chiplet(1, 5, 5)]
+        topo = Topology("disc", chiplets, [])
+        with pytest.raises(nx.NetworkXNoPath):
+            topo.hops(0, 1)
+        assert not topo.is_connected()
+
+    def test_path_length_mm(self):
+        topo = line_topology(4)
+        assert topo.path_length_mm(0, 3) == pytest.approx(9.0)
+
+    def test_diameter(self):
+        assert line_topology(6).diameter_hops() == 5
+
+    def test_average_hops_line(self):
+        # Line of 3: pairs (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3.
+        assert line_topology(3).average_hops() == pytest.approx(4 / 3)
+
+    def test_route_prefers_short_wires(self):
+        # Two parallel 2-hop routes; one has shorter wires.
+        chiplets = [Chiplet(0, 0, 0), Chiplet(1, 1, 0),
+                    Chiplet(2, 1, 1), Chiplet(3, 2, 0)]
+        links = [
+            Link(0, 1, length_mm=1.0), Link(1, 3, length_mm=1.0),
+            Link(0, 2, length_mm=5.0), Link(2, 3, length_mm=5.0),
+        ]
+        topo = Topology("par", chiplets, links)
+        assert topo.route(0, 3) == (0, 1, 3)
+
+
+class TestStructureMetrics:
+    def test_port_histogram_line(self):
+        topo = line_topology(4)
+        assert topo.port_histogram() == {1: 2, 2: 2}
+
+    def test_mean_ports(self):
+        topo = line_topology(4)
+        assert topo.mean_ports() == pytest.approx(2 * 3 / 4)
+
+    def test_link_length_histogram(self):
+        topo = line_topology(4)
+        assert topo.link_length_histogram() == {1: 3}
+
+    def test_total_link_length(self):
+        assert line_topology(4).total_link_length_mm() == pytest.approx(9.0)
+
+    def test_bisection_line(self):
+        assert line_topology(4).bisection_links() == 1
+
+    def test_noi_area_positive(self):
+        assert line_topology(4).noi_area_mm2() > 0
+
+    def test_multicast_flag_default_false(self):
+        assert not line_topology(3).multicast_capable
+
+
+class TestGridHelpers:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(100, (10, 10)), (36, (6, 6)), (60, (10, 6)), (1, (1, 1))],
+    )
+    def test_grid_dimensions(self, n, expected):
+        assert grid_dimensions(n) == expected
+
+    def test_grid_dimensions_prime(self):
+        cols, rows = grid_dimensions(17)
+        assert cols * rows >= 17
+
+    def test_grid_dimensions_invalid(self):
+        with pytest.raises(ValueError):
+            grid_dimensions(0)
+
+    def test_grid_chiplets_positions_unique(self):
+        chiplets = grid_chiplets(36)
+        positions = {(c.x, c.y) for c in chiplets}
+        assert len(positions) == 36
+
+    def test_manhattan(self):
+        a = Chiplet(0, 0, 0, 0)
+        b = Chiplet(1, 2, 3, 1)
+        assert a.manhattan_to(b) == 6

@@ -1,0 +1,119 @@
+"""Unit tests: traffic extraction and linear/skip classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.dnn import DNNModel
+from repro.workloads.layers import LayerGraphBuilder
+from repro.workloads.traffic import (
+    TrafficEdge,
+    classify_edges,
+    interlayer_traffic,
+    summarize_traffic,
+    weighted_depths,
+)
+from repro.workloads.zoo import build_model
+
+
+def residual_model() -> DNNModel:
+    b = LayerGraphBuilder("res", (4, 8, 8))
+    x = b.add_conv(b.input_index, 4, kernel=3, padding=1, name="c0")
+    y = b.add_conv(x, 4, kernel=3, padding=1, name="c1")
+    y = b.add_conv(y, 4, kernel=3, padding=1, name="c2")
+    b.add_add([x, y], name="add")
+    return DNNModel("res", "toy", b.build())
+
+
+class TestTrafficEdge:
+    def test_bytes(self):
+        edge = TrafficEdge(0, 1, elements=100, is_skip=False)
+        assert edge.bytes() == 100
+        assert edge.bytes(bytes_per_element=2) == 200
+
+    def test_packets_ceil(self):
+        edge = TrafficEdge(0, 1, elements=65, is_skip=False)
+        assert edge.packets(packet_bytes=64) == 2
+
+    def test_packets_exact(self):
+        edge = TrafficEdge(0, 1, elements=128, is_skip=False)
+        assert edge.packets(packet_bytes=64) == 2
+
+
+class TestWeightedDepths:
+    def test_input_depth_zero(self):
+        model = residual_model()
+        assert weighted_depths(model)[0] == 0
+
+    def test_depth_monotone_along_chain(self):
+        model = residual_model()
+        depths = weighted_depths(model)
+        c0 = model.layer_by_name("c0").index
+        c2 = model.layer_by_name("c2").index
+        assert depths[c2] > depths[c0]
+
+    def test_add_inherits_max_depth(self):
+        model = residual_model()
+        depths = weighted_depths(model)
+        add = model.layer_by_name("add").index
+        c2 = model.layer_by_name("c2").index
+        assert depths[add] == depths[c2]
+
+
+class TestClassification:
+    def test_bypass_edge_is_skip(self):
+        model = residual_model()
+        edges = classify_edges(model)
+        add = model.layer_by_name("add").index
+        c0 = model.layer_by_name("c0").index
+        c2 = model.layer_by_name("c2").index
+        into_add = {e.src: e for e in edges if e.dst == add}
+        assert into_add[c0].is_skip
+        assert not into_add[c2].is_skip
+
+    def test_single_input_edges_linear(self):
+        model = residual_model()
+        for edge in classify_edges(model):
+            consumer = model.layers[edge.dst]
+            if len(consumer.inputs) == 1:
+                assert not edge.is_skip
+
+    def test_edge_count_matches_graph(self):
+        model = residual_model()
+        assert len(classify_edges(model)) == len(model.edges())
+
+
+class TestSummaries:
+    def test_resnet34_skip_fraction_matches_paper(self):
+        summary = summarize_traffic(build_model("resnet34", "imagenet"))
+        # Paper: skips are ~19% of propagated activations.
+        assert 0.15 < summary.skip_fraction < 0.24
+
+    def test_resnet34_linear_to_skip_ratio(self):
+        summary = summarize_traffic(build_model("resnet34", "imagenet"))
+        # Paper: linear activations ~4.5x larger.
+        assert 3.4 < summary.linear_to_skip_ratio < 5.5
+
+    def test_vgg_has_no_skips(self):
+        summary = summarize_traffic(build_model("vgg11", "cifar10"))
+        assert summary.skip_elements == 0
+        assert summary.linear_to_skip_ratio == float("inf")
+
+    def test_totals_consistent(self):
+        summary = summarize_traffic(residual_model())
+        assert (
+            summary.total_elements
+            == summary.linear_elements + summary.skip_elements
+        )
+
+
+class TestInterlayerTraffic:
+    def test_bytes_scale_with_precision(self):
+        model = residual_model()
+        t1 = interlayer_traffic(model, bytes_per_element=1)
+        t2 = interlayer_traffic(model, bytes_per_element=2)
+        assert [(s, d, v * 2) for s, d, v in t1] == t2
+
+    def test_sources_can_include_input(self):
+        model = residual_model()
+        assert any(s == 0 for s, _d, _v in interlayer_traffic(model))

@@ -1,0 +1,125 @@
+"""Unit tests: transformer kernel inventory and storage analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.transformer import (
+    BERT_BASE,
+    BERT_LARGE,
+    BERT_TINY,
+    KernelClass,
+    TransformerConfig,
+    encoder_kernels,
+    ff_block_chain,
+    pim_suitability,
+    storage_report,
+)
+
+
+class TestConfig:
+    def test_d_head(self):
+        assert BERT_BASE.d_head == 64
+        assert BERT_TINY.d_head == 64
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            TransformerConfig("bad", 2, 100, 3, 400, 128)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError, match="positive"):
+            TransformerConfig("bad", 0, 128, 2, 512, 128)
+
+
+class TestKernels:
+    def test_kernel_count(self):
+        assert len(encoder_kernels(BERT_BASE)) == 11
+
+    def test_static_kernels_have_weights(self):
+        for k in encoder_kernels(BERT_BASE):
+            if k.kind is KernelClass.STATIC_WEIGHT:
+                assert k.weight_elements > 0
+
+    def test_dynamic_kernels_have_no_weights(self):
+        for k in encoder_kernels(BERT_BASE):
+            if k.kind is KernelClass.DYNAMIC_MATMUL:
+                assert k.weight_elements == 0
+                assert k.intermediate_elements > 0
+
+    def test_attention_weights_per_block(self):
+        d = BERT_BASE.d_model
+        attn_weights = sum(
+            k.weight_elements
+            for k in encoder_kernels(BERT_BASE)
+            if k.name.startswith("attn/") and "proj" in k.name
+        )
+        assert attn_weights == 4 * d * d
+
+    def test_ff_weights_per_block(self):
+        cfg = BERT_BASE
+        ff = sum(
+            k.weight_elements
+            for k in encoder_kernels(cfg)
+            if k.name.startswith("ff/fc")
+        )
+        assert ff == 2 * cfg.d_model * cfg.d_ff
+
+    def test_score_matrix_scales_with_seq_sq(self):
+        small = TransformerConfig("s", 1, 128, 2, 512, 64)
+        large = TransformerConfig("l", 1, 128, 2, 512, 256)
+        def qk(cfg):
+            return next(
+                k for k in encoder_kernels(cfg) if k.name == "attn/qk_matmul"
+            )
+        # 4x sequence -> 16x score matrix (diluted by the linear K term).
+        assert qk(large).intermediate_elements >= 9 * qk(small).intermediate_elements
+
+
+class TestStorage:
+    def test_base_ratio_exceeds_tiny(self):
+        base = storage_report(BERT_BASE)
+        tiny = storage_report(BERT_TINY)
+        assert (
+            base.intermediate_to_weight_ratio
+            > tiny.intermediate_to_weight_ratio
+        )
+
+    def test_base_intermediates_exceed_weights(self):
+        report = storage_report(BERT_BASE)
+        assert report.intermediate_to_weight_ratio > 1.0
+
+    def test_scaling_with_layers(self):
+        one = TransformerConfig("one", 1, 128, 2, 512, 128)
+        two = TransformerConfig("two", 2, 128, 2, 512, 128)
+        r1, r2 = storage_report(one), storage_report(two)
+        assert r2.weight_elements == 2 * r1.weight_elements
+        assert r2.intermediate_elements == 2 * r1.intermediate_elements
+
+    def test_dynamic_subset_of_intermediates(self):
+        report = storage_report(BERT_LARGE)
+        assert 0 < report.dynamic_matmul_elements <= report.intermediate_elements
+
+
+class TestSuitability:
+    def test_fractions_sum_to_one(self):
+        suit = pim_suitability(BERT_BASE)
+        assert suit["static_fraction"] + suit["dynamic_fraction"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_static_dominates_macs(self):
+        # FF + projections dominate MAC counts for typical configs.
+        assert pim_suitability(BERT_BASE)["static_fraction"] > 0.5
+
+    def test_rewrite_bytes_positive(self):
+        assert pim_suitability(BERT_TINY)["rewrite_bytes_per_inference"] > 0
+
+
+class TestFFChain:
+    def test_chain_length(self):
+        chain = ff_block_chain(BERT_BASE)
+        assert len(chain) == 2 * BERT_BASE.num_layers
+
+    def test_chain_weights(self):
+        chain = ff_block_chain(BERT_TINY)
+        assert all(w == 128 * 512 for _name, w in chain)

@@ -1,0 +1,94 @@
+"""Unit tests: ASCII visualisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sfc import build_floret_curve
+from repro.viz import (
+    occupancy_from_schedule,
+    render_occupancy,
+    render_petals,
+    render_placement,
+)
+
+
+class TestRenderPetals:
+    def test_grid_shape(self):
+        curve = build_floret_curve(6, 6, 4)
+        art = render_petals(curve)
+        lines = art.split("\n")
+        assert len(lines) == 6
+        assert all(len(line) == 6 for line in lines)
+
+    def test_every_cell_assigned(self):
+        curve = build_floret_curve(6, 6, 4)
+        art = render_petals(curve, mark_heads=False)
+        assert "?" not in art
+
+    def test_heads_and_tails_marked(self):
+        curve = build_floret_curve(6, 6, 4)
+        art = render_petals(curve)
+        assert art.count("*") == 4  # one tail per petal
+        uppers = sum(1 for ch in art if ch.isupper())
+        assert uppers == 4  # one head per petal
+
+    def test_petal_glyph_counts(self):
+        curve = build_floret_curve(6, 6, 2)
+        art = render_petals(curve, mark_heads=False)
+        counts = {g: art.count(g) for g in "ab"}
+        assert sum(counts.values()) == 36
+
+
+class TestRenderOccupancy:
+    def test_free_system(self, small_floret):
+        art = render_occupancy(small_floret.topology, {})
+        assert art.count(".") == 36
+        assert "all free" in art
+
+    def test_owned_chiplets_marked(self, small_floret):
+        art = render_occupancy(
+            small_floret.topology, {0: "taskA", 1: "taskA", 2: "taskB"}
+        )
+        assert art.count(".") == 33
+        assert "taskA" in art and "taskB" in art
+
+    def test_glyph_collision_resolved(self, small_floret):
+        art = render_occupancy(
+            small_floret.topology, {0: "task1", 1: "task2"}
+        )
+        body = art.split("\n[")[0]
+        glyphs = {c for c in body if c not in ". \n"}
+        assert len(glyphs) == 2
+
+    def test_render_placement(self, small_floret):
+        ids = small_floret.allocation_order[:5]
+        art = render_placement(small_floret, ids)
+        assert art.count(".") == 31
+
+
+class TestOccupancyFromSchedule:
+    def test_snapshot(self, small_floret):
+        from repro.core.mapping import ContiguousMapper
+        from repro.core.scheduler import SystemScheduler
+        from repro.workloads.tasks import DNNTask
+
+        from conftest import make_toy_model
+
+        model = make_toy_model()
+        scheduler = SystemScheduler(
+            small_floret.topology,
+            ContiguousMapper(
+                small_floret.allocation_order, small_floret.topology
+            ),
+        )
+        result = scheduler.run(
+            [DNNTask(f"t{i}", "TOY", model) for i in range(3)]
+        )
+        owners = occupancy_from_schedule(result.completed, at_cycle=0)
+        assert owners  # someone is running at t=0
+        # Each owner's chiplets are disjoint.
+        assert len(owners) == sum(
+            t.placement.num_chiplets for t in result.completed
+            if t.start_cycle == 0
+        )
