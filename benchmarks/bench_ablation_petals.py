@@ -11,7 +11,7 @@ DESIGN.md design choices probed here:
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.core import ContiguousMapper, GreedyMapper, SystemScheduler
 from repro.core.floret import build_floret

@@ -9,7 +9,7 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import exp_cost, format_table
 

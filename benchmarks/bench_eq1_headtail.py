@@ -8,7 +8,7 @@ default orientations.
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import exp_eq1_headtail, format_table
 

@@ -8,7 +8,7 @@ tensor-core islands) avoids them entirely.
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import format_table
 from repro.eval.extensions import exp_hetero_transformer

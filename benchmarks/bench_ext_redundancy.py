@@ -7,7 +7,7 @@ single-link failures the NoI survives (bridge-link census).
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import format_table
 from repro.eval.extensions import exp_redundancy

@@ -7,7 +7,7 @@ chiplet count rises from 36 to 144.
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import format_table
 from repro.eval.extensions import exp_scaling

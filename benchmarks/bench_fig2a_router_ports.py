@@ -3,17 +3,43 @@
 The paper's signature: Kite is dominated by 4-port routers, SIAM (mesh)
 by 3- and 4-port routers, SWAP by 2- and 3-port routers, and Floret by
 2-port routers (only heads/tails have more).
+
+Ported to the :class:`~repro.eval.sweeps.SweepRunner` fan-out: the four
+architecture censuses build in parallel worker processes.
 """
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
-from repro.eval import exp_fig2a, format_table
+from repro.eval import (
+    SweepRunner,
+    evaluate_topology_case,
+    format_table,
+    sweep_grid,
+)
+
+NUM_CHIPLETS = 100
+
+
+def _sweep():
+    cases = sweep_grid(
+        archs=("kite", "siam", "swap", "floret"), sizes=(NUM_CHIPLETS,)
+    )
+    outcome = SweepRunner(evaluate_topology_case, workers=4).run(cases)
+    assert not outcome.failures, outcome.failures
+    hists = {}
+    for result in outcome.ok:
+        hists[result.case.arch] = {
+            int(key.split("_", 1)[1]): int(value)
+            for key, value in result.metrics.items()
+            if key.startswith("ports_")
+        }
+    return hists
 
 
 def test_fig2a_router_ports(benchmark):
-    hists = run_once(benchmark, exp_fig2a)
+    hists = run_once(benchmark, _sweep)
     ports = sorted({p for h in hists.values() for p in h})
     table = format_table(
         ["arch"] + [f"{p}-port" for p in ports],

@@ -4,36 +4,54 @@ Paper ordering at 100 chiplets: Kite has the most links (torus, 200),
 then SIAM (mesh, 180), then SWAP (small-world, sparse), and Floret the
 fewest (chain + sparse top-level); Floret's links are almost all
 single-hop.
+
+Ported to the :class:`~repro.eval.sweeps.SweepRunner` fan-out.
 """
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
-from repro.eval import exp_fig2b, format_table
+from repro.eval import (
+    SweepRunner,
+    evaluate_topology_case,
+    format_table,
+    sweep_grid,
+)
+
+NUM_CHIPLETS = 100
+ARCHS = ("kite", "siam", "swap", "floret")
+
+
+def _sweep():
+    outcome = SweepRunner(evaluate_topology_case, workers=4).run(
+        sweep_grid(archs=ARCHS, sizes=(NUM_CHIPLETS,))
+    )
+    assert not outcome.failures, outcome.failures
+    return {r.case.arch: r.metrics for r in outcome.ok}
 
 
 def test_fig2b_links(benchmark):
-    summaries = run_once(benchmark, exp_fig2b)
+    census = run_once(benchmark, _sweep)
     table = format_table(
         ["arch", "links", "mean ports", "total len (mm)",
          "1-hop frac", "bisection", "area (mm^2)"],
         [
             (
-                s.name,
-                s.num_links,
-                s.mean_ports,
-                s.total_link_length_mm,
-                s.fraction_single_hop_links(),
-                s.bisection_links,
-                s.noi_area_mm2,
+                arch,
+                int(m["num_links"]),
+                m["mean_ports"],
+                m["total_link_length_mm"],
+                m["fraction_single_hop"],
+                int(m["bisection_links"]),
+                m["noi_area_mm2"],
             )
-            for s in summaries.values()
+            for arch, m in census.items()
         ],
         title="Fig. 2(b): link structure, 100 chiplets",
     )
     print()
     print(table)
-    links = {name: s.num_links for name, s in summaries.items()}
+    links = {arch: m["num_links"] for arch, m in census.items()}
     assert links["kite"] > links["siam"] > links["swap"] > links["floret"]
-    assert summaries["floret"].fraction_single_hop_links() > 0.9
+    assert census["floret"]["fraction_single_hop"] > 0.9

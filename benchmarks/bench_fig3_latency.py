@@ -3,36 +3,40 @@
 The paper reports Floret outperforming Kite and SIAM by up to 2.24x.
 Our packet-latency model reproduces the ordering (Floret best, Kite
 worst) with factors up to ~1.7x; see EXPERIMENTS.md for the comparison.
+
+Ported to the :class:`~repro.eval.sweeps.SweepRunner` fan-out via the
+shared ``mix_sweep_normalized`` driver (``bench_fig5_energy`` runs the
+same sweep on the energy metric).
 """
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import mix_sweep_normalized, run_once
 
-from repro.eval import ALL_ARCHS, exp_fig3, format_table
+from repro.eval import ALL_ARCHS, format_table
+
+MIXES = ("WL1", "WL2", "WL3", "WL4", "WL5")
+
+
+def _sweep():
+    return mix_sweep_normalized("mean_packet_latency", mixes=MIXES)
 
 
 def test_fig3_noi_latency(benchmark):
-    comparisons = run_once(benchmark, exp_fig3)
-    rows = []
-    for comp in comparisons:
-        norm = comp.latency_normalized()
-        rows.append([comp.mix_name] + [norm[a] for a in ALL_ARCHS])
+    normalized = run_once(benchmark, _sweep)
     table = format_table(
         ["mix"] + list(ALL_ARCHS),
-        rows,
+        [[mix] + [normalized[mix][a] for a in ALL_ARCHS] for mix in MIXES],
         title="Fig. 3: NoI latency normalised to Floret (lower is better)",
     )
     print()
     print(table)
-    for comp in comparisons:
-        norm = comp.latency_normalized()
+    for mix in MIXES:
+        norm = normalized[mix]
         # Floret is the reference and must win against the torus/mesh
         # baselines on every mix.
         assert norm["floret"] == 1.0
         assert norm["kite"] > 1.0
         assert norm["siam"] > 1.0
     # The paper's headline: a >1.2x gap exists on at least one mix.
-    assert any(
-        comp.latency_normalized()["kite"] > 1.2 for comp in comparisons
-    )
+    assert any(normalized[mix]["kite"] > 1.2 for mix in MIXES)

@@ -10,7 +10,7 @@ contiguous mapper never rejects.
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import exp_fig4, format_table
 

@@ -3,42 +3,44 @@
 The paper reports Floret 1.65x / 2.8x more energy-efficient than SIAM /
 Kite on average; our structural energy model reproduces the ordering
 with average factors ~1.5x / ~2.3x.
+
+Ported to the :class:`~repro.eval.sweeps.SweepRunner` fan-out via the
+shared ``mix_sweep_normalized`` driver (same sweep shape as
+``bench_fig3_latency``; only the aggregated metric differs).
 """
 
 from __future__ import annotations
 
 import statistics
 
-from conftest import run_once
+from _bench_utils import mix_sweep_normalized, run_once
 
-from repro.eval import ALL_ARCHS, exp_fig5, format_table
+from repro.eval import ALL_ARCHS, format_table
+
+MIXES = ("WL1", "WL2", "WL3", "WL4", "WL5")
+
+
+def _sweep():
+    return mix_sweep_normalized("noi_energy_pj", mixes=MIXES)
 
 
 def test_fig5_noi_energy(benchmark):
-    comparisons = run_once(benchmark, exp_fig5)
-    rows = []
-    for comp in comparisons:
-        norm = comp.energy_normalized()
-        rows.append([comp.mix_name] + [norm[a] for a in ALL_ARCHS])
+    normalized = run_once(benchmark, _sweep)
     table = format_table(
         ["mix"] + list(ALL_ARCHS),
-        rows,
+        [[mix] + [normalized[mix][a] for a in ALL_ARCHS] for mix in MIXES],
         title="Fig. 5: NoI energy normalised to Floret (lower is better)",
     )
     print()
     print(table)
-    siam_avg = statistics.mean(
-        c.energy_normalized()["siam"] for c in comparisons
-    )
-    kite_avg = statistics.mean(
-        c.energy_normalized()["kite"] for c in comparisons
-    )
+    siam_avg = statistics.mean(normalized[mix]["siam"] for mix in MIXES)
+    kite_avg = statistics.mean(normalized[mix]["kite"] for mix in MIXES)
     print(f"\naverages: SIAM {siam_avg:.2f}x (paper 1.65x), "
           f"Kite {kite_avg:.2f}x (paper 2.8x)")
     # Ordering and rough magnitudes must hold.
     assert 1.1 < siam_avg
     assert 1.5 < kite_avg
     assert kite_avg > siam_avg
-    for comp in comparisons:
-        assert comp.energy_normalized()["kite"] > 1.0
-        assert comp.energy_normalized()["siam"] > 1.0
+    for mix in MIXES:
+        assert normalized[mix]["kite"] > 1.0
+        assert normalized[mix]["siam"] > 1.0

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import statistics
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import exp_fig6, format_table
 

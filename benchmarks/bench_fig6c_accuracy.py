@@ -7,7 +7,7 @@ of it.
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import exp_fig6, format_table
 

@@ -8,7 +8,7 @@ heat maps on a shared temperature scale.
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import exp_fig7
 from repro.thermal import render_tier_ascii

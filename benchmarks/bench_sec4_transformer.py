@@ -12,7 +12,7 @@ Two quantitative claims:
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import (
     exp_sec2_skip_traffic,

@@ -9,7 +9,7 @@ sound lower bound with matching architecture ordering.
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.core.floret import build_floret
 from repro.eval import format_table

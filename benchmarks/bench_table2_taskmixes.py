@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from _bench_utils import run_once
 
 from repro.eval import exp_table2, format_table
 

@@ -1,17 +1,6 @@
-"""Shared benchmark configuration.
+"""Benchmark-suite conftest.
 
-Heavy experiment drivers are timed with a single round (they are
-deterministic end-to-end system evaluations, not microbenchmarks), and
-each benchmark prints the regenerated table/figure rows so the paper
-comparison is visible in the benchmark log.
+Shared helpers live in :mod:`_bench_utils` (see its docstring for why
+they are not defined here); this file only keeps the directory
+importable as a pytest collection root.
 """
-
-from __future__ import annotations
-
-import pytest
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Time ``fn`` with one warm round and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)

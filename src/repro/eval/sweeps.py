@@ -1,0 +1,424 @@
+"""Parallel parameter-sweep runner over (topology x workload x params).
+
+The vectorized engine (:mod:`repro.net.vectorized`) makes one scenario
+cheap; this module makes *many* scenarios cheap by fanning a grid of
+:class:`SweepCase` descriptors across worker processes and aggregating
+the per-case metric dictionaries into a structured
+:class:`SweepOutcome`.  Benchmarks (``benchmarks/bench_fig*.py``,
+``benchmarks/bench_sweep_engine.py``) and future scaling work all drive
+their scenario fan-out through :class:`SweepRunner`.
+
+Design notes:
+
+* Cases and results are small picklable dataclasses; evaluation
+  functions must be module-level callables so the process pool can ship
+  them (the built-ins below cover communication sweeps, full mix
+  schedules and structural topology censuses).
+* ``workers <= 1`` runs inline -- deterministic, dependency-free, and
+  what the unit tests use.  Pool construction failures (restricted
+  sandboxes without POSIX semaphores, for instance) degrade to the
+  inline path instead of erroring, so a sweep always completes.
+* Per-process caches (topology builders, routing tables) are warmed
+  lazily inside the workers; a chunked submission order keeps cases of
+  the same topology together to maximise cache reuse.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from functools import lru_cache, partial
+from itertools import product
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..noi.topology import Topology
+from ..params import NoIParams
+
+#: Environment knob: hard override of worker count for every runner.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+Overrides = Tuple[Tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One scenario: an architecture, a workload and parameter overrides.
+
+    Attributes:
+        arch: Architecture name (``"floret"``, ``"siam"``, ``"kite"``,
+            ``"swap"``).
+        num_chiplets: System size.
+        workload: Workload selector -- a Table II mix name (``"WL1"``)
+            for schedule sweeps or a synthetic traffic pattern name
+            (``"uniform"``, ``"neighbor"``, ``"hotspot"``,
+            ``"transpose"``) for communication sweeps.
+        seed: RNG seed for randomised workloads.
+        noi_overrides: ``NoIParams`` field overrides as a hashable,
+            picklable tuple of ``(field, value)`` pairs.
+        tag: Free-form label for grouping in reports.
+    """
+
+    arch: str
+    num_chiplets: int = 36
+    workload: str = "uniform"
+    seed: int = 0
+    noi_overrides: Overrides = ()
+    tag: str = ""
+
+    @property
+    def case_id(self) -> str:
+        over = ",".join(f"{k}={v}" for k, v in self.noi_overrides)
+        return (
+            f"{self.arch}/{self.num_chiplets}/{self.workload}/s{self.seed}"
+            + (f"/{over}" if over else "")
+        )
+
+    def params(self) -> NoIParams:
+        return replace(NoIParams(), **dict(self.noi_overrides))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one case: metric dict or a captured error."""
+
+    case: SweepCase
+    metrics: Dict[str, float]
+    elapsed_s: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Aggregated sweep results with query helpers."""
+
+    results: Tuple[SweepResult, ...]
+    elapsed_s: float
+    workers: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> Tuple[SweepResult, ...]:
+        return tuple(r for r in self.results if r.ok)
+
+    @property
+    def failures(self) -> Tuple[SweepResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+    def metric(self, name: str) -> np.ndarray:
+        """Values of one metric over all successful cases, sweep order."""
+        return np.array([r.metrics[name] for r in self.ok], dtype=np.float64)
+
+    def group_by(
+        self, key: Callable[[SweepCase], object]
+    ) -> Dict[object, List[SweepResult]]:
+        out: Dict[object, List[SweepResult]] = {}
+        for r in self.ok:
+            out.setdefault(key(r.case), []).append(r)
+        return out
+
+    def by_arch(self) -> Dict[str, List[SweepResult]]:
+        return self.group_by(lambda c: c.arch)
+
+    def pivot(
+        self, metric: str,
+        row: Callable[[SweepCase], object] = lambda c: c.workload,
+        col: Callable[[SweepCase], object] = lambda c: c.arch,
+    ) -> Dict[object, Dict[object, float]]:
+        """``{row_key: {col_key: mean metric}}`` table of one metric."""
+        table: Dict[object, Dict[object, List[float]]] = {}
+        for r in self.ok:
+            cell = table.setdefault(row(r.case), {}).setdefault(
+                col(r.case), []
+            )
+            cell.append(r.metrics[metric])
+        return {
+            rk: {ck: float(np.mean(vs)) for ck, vs in cols.items()}
+            for rk, cols in table.items()
+        }
+
+    def rows(self, metric_names: Sequence[str]) -> List[List[object]]:
+        """Table rows ``[case_id, *metrics]`` for ``format_table``."""
+        return [
+            [r.case.case_id] + [r.metrics.get(m, float("nan"))
+                                for m in metric_names]
+            for r in self.ok
+        ]
+
+
+def sweep_grid(
+    archs: Sequence[str],
+    sizes: Sequence[int] = (36,),
+    workloads: Sequence[str] = ("uniform",),
+    seeds: Sequence[int] = (0,),
+    overrides: Sequence[Overrides] = ((),),
+    tag: str = "",
+) -> List[SweepCase]:
+    """Cartesian product of sweep axes, topology-major for cache reuse."""
+    return [
+        SweepCase(
+            arch=a, num_chiplets=n, workload=w, seed=s,
+            noi_overrides=o, tag=tag,
+        )
+        for a, n, o, w, s in product(archs, sizes, overrides,
+                                     workloads, seeds)
+    ]
+
+
+def _evaluate_one(
+    evaluate: Callable[[SweepCase], Mapping[str, float]],
+    case: SweepCase,
+) -> SweepResult:
+    t0 = time.perf_counter()
+    try:
+        metrics = dict(evaluate(case))
+    except Exception:
+        return SweepResult(
+            case=case,
+            metrics={},
+            elapsed_s=time.perf_counter() - t0,
+            error=traceback.format_exc(limit=8),
+        )
+    return SweepResult(
+        case=case, metrics=metrics, elapsed_s=time.perf_counter() - t0
+    )
+
+
+class SweepRunner:
+    """Fan a list of :class:`SweepCase` over worker processes.
+
+    Args:
+        evaluate: Module-level callable mapping a case to a metric dict
+            (must be picklable for ``workers > 1``).
+        workers: Process count.  ``None`` picks ``min(cpu, cases)``;
+            ``<= 1`` runs inline.  The ``REPRO_SWEEP_WORKERS`` env var
+            overrides either.
+        chunksize: Cases per pool task; larger chunks amortise IPC and
+            keep same-topology cases on one worker's warm caches.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[SweepCase], Mapping[str, float]],
+        *,
+        workers: Optional[int] = None,
+        chunksize: int = 4,
+    ) -> None:
+        self.evaluate = evaluate
+        self.workers = workers
+        self.chunksize = max(1, chunksize)
+
+    def _resolve_workers(self, num_cases: int) -> int:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None:
+            return max(1, int(env))
+        if self.workers is not None:
+            return max(1, self.workers)
+        return max(1, min(os.cpu_count() or 1, num_cases))
+
+    def run(self, cases: Iterable[SweepCase]) -> SweepOutcome:
+        cases = list(cases)
+        t0 = time.perf_counter()
+        workers = self._resolve_workers(len(cases))
+        results: Optional[List[SweepResult]] = None
+        if workers > 1 and len(cases) > 1:
+            results = self._run_pool(cases, workers)
+        if results is None:
+            workers = 1
+            results = [_evaluate_one(self.evaluate, c) for c in cases]
+        return SweepOutcome(
+            results=tuple(results),
+            elapsed_s=time.perf_counter() - t0,
+            workers=workers,
+        )
+
+    def _run_pool(
+        self, cases: List[SweepCase], workers: int
+    ) -> Optional[List[SweepResult]]:
+        """Pool execution; ``None`` signals fall-back to inline."""
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(
+                        partial(_evaluate_one, self.evaluate),
+                        cases,
+                        chunksize=self.chunksize,
+                    )
+                )
+        except (OSError, BrokenProcessPool, pickle.PicklingError) as exc:
+            # Known pool-level failures -- restricted sandboxes without
+            # /dev/shm semaphores, crashed workers, unpicklable
+            # evaluate -- degrade to inline so the sweep still
+            # completes, but loudly: silent serial re-runs read as an
+            # unexplained performance cliff.  Anything else (a bug in
+            # aggregation, KeyboardInterrupt) propagates.
+            warnings.warn(
+                f"sweep process pool failed ({exc!r}); "
+                f"re-running {len(cases)} cases inline",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+
+# ---------------------------------------------------------------------------
+# built-in case evaluators (module-level: picklable for the pool)
+
+
+@lru_cache(maxsize=32)
+def _case_topology(arch: str, num_chiplets: int,
+                   noi_overrides: Overrides) -> Topology:
+    from ..core.floret import build_floret
+    from ..noi.kite import build_kite
+    from ..noi.mesh import build_mesh
+    from ..noi.swap import build_swap
+
+    params = replace(NoIParams(), **dict(noi_overrides))
+    if arch == "floret":
+        return build_floret(num_chiplets, params=params).topology
+    builders = {"siam": build_mesh, "kite": build_kite, "swap": build_swap}
+    try:
+        builder = builders[arch]
+    except KeyError:
+        raise ValueError(f"unknown architecture {arch!r}") from None
+    return builder(num_chiplets, params=params)
+
+
+def case_topology(case: SweepCase) -> Topology:
+    """The (per-process cached) topology of a sweep case."""
+    return _case_topology(case.arch, case.num_chiplets, case.noi_overrides)
+
+
+def synthetic_traffic(
+    pattern: str, num_chiplets: int, seed: int,
+    *,
+    flows: Optional[int] = None,
+    max_payload: int = 4096,
+) -> np.ndarray:
+    """Deterministic synthetic transfer sets for communication sweeps.
+
+    Patterns: ``uniform`` (random pairs), ``neighbor`` (ring successor),
+    ``hotspot`` (all-to-one plus background), ``transpose``
+    (``i -> n-1-i``).
+    """
+    n = num_chiplets
+    rng = np.random.default_rng(seed * 7919 + n)
+    flows = flows if flows is not None else 4 * n
+    if pattern == "uniform":
+        src = rng.integers(0, n, flows)
+        dst = rng.integers(0, n, flows)
+    elif pattern == "neighbor":
+        src = np.arange(n, dtype=np.int64)
+        dst = (src + 1) % n
+    elif pattern == "hotspot":
+        hot = int(rng.integers(0, n))
+        src = rng.integers(0, n, flows)
+        dst = np.where(rng.random(flows) < 0.5, hot, rng.integers(0, n, flows))
+    elif pattern == "transpose":
+        src = np.arange(n, dtype=np.int64)
+        dst = n - 1 - src
+    else:
+        raise ValueError(f"unknown traffic pattern {pattern!r}")
+    payload = rng.integers(1, max_payload, src.shape[0])
+    return np.stack(
+        [src.astype(np.int64), dst.astype(np.int64), payload], axis=1
+    )
+
+
+def evaluate_comm_case(case: SweepCase) -> Dict[str, float]:
+    """Vectorized-engine communication metrics for one synthetic case."""
+    from ..net.vectorized import communication_cost_vec
+
+    topo = case_topology(case)
+    transfers = synthetic_traffic(
+        case.workload, case.num_chiplets, case.seed
+    )
+    report = communication_cost_vec(topo, transfers)
+    return {
+        "latency_cycles": float(report.latency_cycles),
+        "serial_latency_cycles": float(report.serial_latency_cycles),
+        "energy_pj": report.energy_pj,
+        "total_flits": float(report.total_flits),
+        "weighted_hops": report.weighted_hops,
+        "mean_packet_latency": report.mean_packet_latency,
+    }
+
+
+def evaluate_mix_case(case: SweepCase) -> Dict[str, float]:
+    """Full Table II mix schedule metrics for one case (Figs. 3/4/5).
+
+    The schedule path builds its topologies through the
+    :mod:`repro.eval.experiments` caches, which do not take parameter
+    overrides; silently returning default-parameter results for an
+    override sweep would mislabel identical data, so such cases fail
+    loudly instead.
+    """
+    from .experiments import schedule
+
+    if case.noi_overrides:
+        raise ValueError(
+            "evaluate_mix_case does not support noi_overrides "
+            f"(got {case.noi_overrides}); use evaluate_comm_case or add "
+            "parameter plumbing to repro.eval.experiments.schedule"
+        )
+    if case.seed != 0:
+        raise ValueError(
+            "evaluate_mix_case is deterministic; sweeping seed "
+            f"{case.seed} would duplicate identical results"
+        )
+    result = schedule(case.arch, case.workload, case.num_chiplets)
+    return {
+        "mean_packet_latency": result.mean_packet_latency,
+        "noi_energy_pj": result.total_noi_energy_pj,
+        "utilization": result.utilization,
+        "makespan_cycles": float(result.makespan_cycles),
+    }
+
+
+def evaluate_topology_case(case: SweepCase) -> Dict[str, float]:
+    """Structural census of one case's topology (Fig. 2 metrics).
+
+    Flattens :func:`repro.noi.properties.summarize` -- the shared census
+    implementation -- into sweep metrics, so definitions like the
+    single-hop link fraction live in exactly one place.
+    """
+    from ..noi.properties import summarize
+
+    summary = summarize(case_topology(case))
+    metrics: Dict[str, float] = {
+        "num_links": float(summary.num_links),
+        "mean_ports": summary.mean_ports,
+        "total_link_length_mm": summary.total_link_length_mm,
+        "noi_area_mm2": summary.noi_area_mm2,
+        "bisection_links": float(summary.bisection_links),
+        "diameter_hops": float(summary.diameter_hops),
+        "average_hops": summary.average_hops,
+        "fraction_single_hop": summary.fraction_single_hop_links(),
+    }
+    for ports, count in summary.port_histogram.items():
+        metrics[f"ports_{ports}"] = float(count)
+    for length, count in summary.link_length_histogram.items():
+        metrics[f"linklen_{length}"] = float(count)
+    return metrics

@@ -1,27 +1,51 @@
-"""Interconnect performance models: analytic + packet-level simulation."""
+"""Interconnect performance models: analytic + packet-level simulation.
+
+Two evaluation engines share one routing substrate:
+
+* scalar reference models (:mod:`repro.net.analytic`) -- the oracles,
+* the batched NumPy engine (:mod:`repro.net.vectorized`) over the
+  precomputed :mod:`repro.net.routing` tables -- the hot path.
+"""
 
 from .analytic import (
     CommReport,
     communication_cost,
     flits_for_bytes,
+    multicast_step_cost,
     path_pipeline_cycles,
     transfer_energy_pj,
     transfer_latency_cycles,
 )
 from .perf import TaskPerf, evaluate_task
+from .routing import RoutingTables, build_routing_tables
 from .simulator import Message, SimReport, simulate, simulate_transfers
+from .vectorized import (
+    communication_cost_vec,
+    multicast_step_cost_vec,
+    traffic_matrix_cost,
+    traffic_matrix_to_transfers,
+    unicast_step_cost_vec,
+)
 
 __all__ = [
     "CommReport",
     "Message",
+    "RoutingTables",
     "SimReport",
     "TaskPerf",
+    "build_routing_tables",
     "communication_cost",
+    "communication_cost_vec",
     "evaluate_task",
     "flits_for_bytes",
+    "multicast_step_cost",
+    "multicast_step_cost_vec",
     "path_pipeline_cycles",
     "simulate",
     "simulate_transfers",
+    "traffic_matrix_cost",
+    "traffic_matrix_to_transfers",
     "transfer_energy_pj",
     "transfer_latency_cycles",
+    "unicast_step_cost_vec",
 ]

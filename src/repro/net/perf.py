@@ -17,7 +17,8 @@ from ..noi.topology import Topology
 from ..pim.allocation import AllocationPlan
 from ..pim.chiplet import ChipletSpec, layer_compute
 from ..workloads.dnn import DNNModel
-from .analytic import CommReport, multicast_step_cost
+from .analytic import CommReport
+from .vectorized import multicast_step_cost_vec
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,9 @@ def evaluate_task(
             layer, max(1, allocated), spec,
             crossbars_available=crossbar_shares.get(layer.index),
         )
-        comm: CommReport = multicast_step_cost(
+        # Batched engine; the scalar multicast_step_cost is the oracle
+        # (tests/test_vectorized.py asserts 1e-9 agreement).
+        comm: CommReport = multicast_step_cost_vec(
             topology, incoming.get(layer.index, ())
         )
         total += max(compute.latency_cycles, comm.latency_cycles)

@@ -1,0 +1,290 @@
+"""All-pairs routing tables: the vectorized engine's data backbone.
+
+The scalar models in :mod:`repro.net.analytic` walk one
+:meth:`Topology.route` at a time in Python.  For whole traffic matrices
+that is the hot path, so this module precomputes every minimal route of
+a :class:`~repro.noi.topology.Topology` **once** into dense NumPy
+matrices plus a CSR link-incidence structure:
+
+* ``hops[s, d]``               -- minimal hop count (-1 if unreachable),
+* ``pipeline_cycles[s, d]``    -- head-flit pipeline latency of the route,
+* ``route_router_energy[s, d]`` / ``route_link_energy[s, d]``
+                               -- per-flit energy sums along the route,
+* ``route_indptr`` / ``route_links``
+                               -- directed link ids of each route, in
+                                  route order (CSR over ``s * n + d``).
+
+The tables are built from the *same* deterministic tie-broken Dijkstra
+routes the scalar model uses, and building them populates the
+topology's route cache, so the scalar oracle and the vectorized engine
+are route-for-route identical by construction (see
+``tests/test_routing.py`` and ``tests/test_vectorized.py``).
+
+Tables are cached on the topology object via
+:meth:`Topology.routing_tables`, so every consumer (vectorized analytic
+model, simulator fast path, sweep runner) shares one build per topology
+per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import networkx as nx
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..noi.topology import Topology
+
+
+@dataclass(frozen=True)
+class RoutingTables:
+    """Immutable all-pairs route tables for one topology.
+
+    Attributes:
+        num_nodes: Chiplet count ``n``.
+        ports: ``(n,)`` router network-port counts.
+        stage_cycles: ``(n,)`` per-router pipeline depth in cycles.
+        router_energy_pj_per_flit: ``(n,)`` per-flit router traversal
+            energy (port-count scaled).
+        link_u, link_v: ``(L,)`` endpoints of each *directed* link.
+        link_wire_cycles: ``(L,)`` wire delay of each directed link.
+        link_length_mm: ``(L,)`` physical length of each directed link.
+        link_vertical: ``(L,)`` True for inter-tier (MIV/TSV) links.
+        link_energy_pj_per_flit: ``(L,)`` per-flit link energy (wire
+            plus vertical-hop energy where applicable).
+        link_index: ``{(u, v): directed link id}``.
+        hops: ``(n, n)`` minimal hop counts; -1 where unreachable.
+        pipeline_cycles: ``(n, n)`` head-flit pipeline latency.
+        route_length_mm: ``(n, n)`` wire length along the chosen route.
+        route_router_energy_pj_per_flit: ``(n, n)`` sum of router
+            energies over the route's nodes.
+        route_link_energy_pj_per_flit: ``(n, n)`` sum of link energies
+            over the route's links.
+        route_indptr: ``(n * n + 1,)`` CSR offsets into ``route_links``
+            for pair id ``s * n + d``.
+        route_links: Concatenated directed link ids of every route, in
+            route order.
+    """
+
+    num_nodes: int
+    ports: np.ndarray
+    stage_cycles: np.ndarray
+    router_energy_pj_per_flit: np.ndarray
+    link_u: np.ndarray
+    link_v: np.ndarray
+    link_wire_cycles: np.ndarray
+    link_length_mm: np.ndarray
+    link_vertical: np.ndarray
+    link_energy_pj_per_flit: np.ndarray
+    link_index: Dict[Tuple[int, int], int]
+    hops: np.ndarray
+    pipeline_cycles: np.ndarray
+    route_length_mm: np.ndarray
+    route_router_energy_pj_per_flit: np.ndarray
+    route_link_energy_pj_per_flit: np.ndarray
+    route_indptr: np.ndarray
+    route_links: np.ndarray
+
+    @property
+    def num_directed_links(self) -> int:
+        return int(self.link_u.shape[0])
+
+    def pair_index(self, src: int, dst: int) -> int:
+        return src * self.num_nodes + dst
+
+    def route_link_ids(self, src: int, dst: int) -> np.ndarray:
+        """Directed link ids along the route ``src -> dst``, in order."""
+        p = self.pair_index(src, dst)
+        return self.route_links[self.route_indptr[p]:self.route_indptr[p + 1]]
+
+    def route_nodes(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Reconstruct the route node sequence from the link table."""
+        links = self.route_link_ids(src, dst)
+        if links.size == 0:
+            return (src,)
+        return (int(self.link_u[links[0]]),) + tuple(
+            int(v) for v in self.link_v[links]
+        )
+
+    def energy_pj_per_flit(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Per-flit transfer energy (router + link) for pair arrays."""
+        return (
+            self.route_router_energy_pj_per_flit[src, dst]
+            + self.route_link_energy_pj_per_flit[src, dst]
+        )
+
+    def check_reachable(self, src: np.ndarray, dst: np.ndarray,
+                        name: str = "topology") -> None:
+        """Raise :class:`networkx.NetworkXNoPath` on unreachable pairs."""
+        bad = self.hops[src, dst] < 0
+        if np.any(bad):
+            i = int(np.argmax(bad))
+            raise nx.NetworkXNoPath(
+                f"{name}: no path {int(np.asarray(src).reshape(-1)[i])}"
+                f"->{int(np.asarray(dst).reshape(-1)[i])}"
+            )
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate integer ranges ``[starts[i], starts[i] + counts[i])``.
+
+    The standard vectorized gather used to pull many CSR slices at once
+    (route links for a whole batch of transfers) without a Python loop.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    keep = counts > 0
+    starts, counts = starts[keep], counts[keep]
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(counts.sum())
+    step = np.ones(total, dtype=np.int64)
+    step[0] = starts[0]
+    offsets = np.cumsum(counts)[:-1]
+    step[offsets] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(step)
+
+
+def build_routing_tables(topology: "Topology") -> RoutingTables:
+    """Build :class:`RoutingTables` for ``topology``.
+
+    Routes come from per-source Dijkstra trees with the same
+    ``1 + 1e-6 * length_mm`` tie-break weight as
+    :meth:`Topology.route`; pairs the topology has already routed keep
+    their cached path, and every path chosen here is written back into
+    the topology's route cache so scalar and vectorized evaluations can
+    never diverge on route choice.
+    """
+    params = topology.params
+    graph = topology.graph
+    n = topology.num_chiplets
+
+    ports = np.array(
+        [graph.degree[i] for i in range(n)], dtype=np.int64
+    )
+    stage_cycles = np.array(
+        [params.router_stage_cycles(int(p)) for p in ports], dtype=np.int64
+    )
+    router_energy = params.router_energy_pj_per_flit_port * ports.astype(
+        np.float64
+    )
+
+    link_index: Dict[Tuple[int, int], int] = {}
+    link_u, link_v = [], []
+    wire_cycles, length_mm, vertical = [], [], []
+    for u, v, data in graph.edges(data=True):
+        for a, b in ((u, v), (v, u)):
+            link_index[(a, b)] = len(link_u)
+            link_u.append(a)
+            link_v.append(b)
+            wire_cycles.append(params.link_delay_cycles(data["length_mm"]))
+            length_mm.append(data["length_mm"])
+            vertical.append(bool(data.get("vertical", False)))
+    link_u_arr = np.array(link_u, dtype=np.int64)
+    link_v_arr = np.array(link_v, dtype=np.int64)
+    wire_arr = np.array(wire_cycles, dtype=np.int64)
+    length_arr = np.array(length_mm, dtype=np.float64)
+    vertical_arr = np.array(vertical, dtype=bool)
+    link_energy = (
+        params.link_energy_pj_per_flit_mm * length_arr
+        + params.vertical_energy_pj_per_flit * vertical_arr
+    )
+
+    def weight(u: int, v: int, data) -> float:
+        return 1.0 + 1e-6 * data["length_mm"]
+
+    hops = np.full((n, n), -1, dtype=np.int64)
+    np.fill_diagonal(hops, 0)
+    counts = np.zeros(n * n, dtype=np.int64)
+    per_pair_links = [()] * (n * n)
+    path_cache = topology._path_cache
+    for s in range(n):
+        _dist, paths = nx.single_source_dijkstra(graph, s, weight=weight)
+        for d in range(n):
+            if d == s:
+                continue
+            path = path_cache.get((s, d))
+            if path is None:
+                found = paths.get(d)
+                if found is None:
+                    continue
+                path = tuple(found)
+                path_cache[(s, d)] = path
+            pair = s * n + d
+            hops[s, d] = len(path) - 1
+            ids = tuple(
+                link_index[(a, b)] for a, b in zip(path, path[1:])
+            )
+            per_pair_links[pair] = ids
+            counts[pair] = len(ids)
+
+    route_indptr = np.zeros(n * n + 1, dtype=np.int64)
+    np.cumsum(counts, out=route_indptr[1:])
+    route_links = np.fromiter(
+        (e for ids in per_pair_links for e in ids),
+        dtype=np.int64,
+        count=int(route_indptr[-1]),
+    )
+
+    # Per-route sums via segment reduction over the CSR structure.
+    pair_of_entry = np.repeat(np.arange(n * n, dtype=np.int64), counts)
+    npairs = n * n
+
+    def route_sum(per_link_values: np.ndarray) -> np.ndarray:
+        return np.bincount(
+            pair_of_entry,
+            weights=per_link_values[route_links],
+            minlength=npairs,
+        ).reshape(n, n)
+
+    reachable = hops > 0
+    wire_sum = route_sum(wire_arr.astype(np.float64))
+    dst_stage_sum = route_sum(stage_cycles[link_v_arr].astype(np.float64))
+    pipeline = np.where(
+        reachable,
+        stage_cycles[:, None] + np.rint(wire_sum + dst_stage_sum).astype(
+            np.int64
+        ),
+        0,
+    )
+    route_router = np.where(
+        reachable,
+        router_energy[:, None] + route_sum(router_energy[link_v_arr]),
+        0.0,
+    )
+    route_link_e = np.where(reachable, route_sum(link_energy), 0.0)
+    route_len = np.where(reachable, route_sum(length_arr), 0.0)
+
+    tables = RoutingTables(
+        num_nodes=n,
+        ports=ports,
+        stage_cycles=stage_cycles,
+        router_energy_pj_per_flit=router_energy,
+        link_u=link_u_arr,
+        link_v=link_v_arr,
+        link_wire_cycles=wire_arr,
+        link_length_mm=length_arr,
+        link_vertical=vertical_arr,
+        link_energy_pj_per_flit=link_energy,
+        link_index=link_index,
+        hops=hops,
+        pipeline_cycles=pipeline,
+        route_length_mm=route_len,
+        route_router_energy_pj_per_flit=route_router,
+        route_link_energy_pj_per_flit=route_link_e,
+        route_indptr=route_indptr,
+        route_links=route_links,
+    )
+    for arr in (
+        tables.ports, tables.stage_cycles, tables.router_energy_pj_per_flit,
+        tables.link_u, tables.link_v, tables.link_wire_cycles,
+        tables.link_length_mm, tables.link_vertical,
+        tables.link_energy_pj_per_flit, tables.hops, tables.pipeline_cycles,
+        tables.route_length_mm, tables.route_router_energy_pj_per_flit,
+        tables.route_link_energy_pj_per_flit, tables.route_indptr,
+        tables.route_links,
+    ):
+        arr.setflags(write=False)
+    return tables

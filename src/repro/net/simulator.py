@@ -7,6 +7,15 @@ be validated under load (see ``tests/test_simulator.py`` and the
 ablation bench).  Store-and-forward granularity is the packet (several
 flits); each directed link transmits one packet at a time.
 
+Routes and per-hop constants come from the topology's cached
+:class:`~repro.net.routing.RoutingTables`.  Packets whose routes share
+no directed link with any other packet cannot queue, so their
+completion times are closed-form; the simulator detects them with one
+link-usage ``bincount`` and resolves the whole batch with array
+arithmetic, falling back to the event heap only for the contended
+subset.  ``tests/test_sim_contention.py`` asserts the batched fast path
+is event-loop-exact.
+
 This is deliberately not a cycle-accurate RTL model: the paper's claims
 are about *relative* NoI behaviour, and a queueing-accurate packet model
 is the right fidelity for that (DESIGN.md, substitutions table).
@@ -16,11 +25,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from ..noi.topology import Topology
 from ..params import NoIParams
+from .routing import concat_ranges
 
 #: Default packet payload in bytes.
 PACKET_BYTES = 64
@@ -39,13 +51,18 @@ class Message:
 
 @dataclass(frozen=True)
 class SimReport:
-    """Simulation outcome for a message set."""
+    """Simulation outcome for a message set.
+
+    ``batched_packets`` counts packets resolved on the contention-free
+    fast path (closed-form, no event-heap traffic).
+    """
 
     makespan_cycles: int
     mean_packet_latency: float
     max_packet_latency: int
     packets_delivered: int
     message_completion: Dict[int, int]
+    batched_packets: int = 0
 
     @property
     def total_latency_cycles(self) -> int:
@@ -77,6 +94,7 @@ def simulate(
     messages: Sequence[Message],
     *,
     packet_bytes: int = PACKET_BYTES,
+    batch_uncontended: bool = True,
 ) -> SimReport:
     """Run the event-driven simulation for ``messages`` on ``topology``.
 
@@ -84,61 +102,125 @@ def simulate(
     model uses.  At each hop a packet pays the router pipeline, then
     queues for the outgoing directed link; a link serialises one packet
     (``flits`` cycles) plus the wire delay before the next may start.
+
+    Args:
+        topology: The NoI to simulate on.
+        messages: Application-level transfers.
+        packet_bytes: Packetisation granularity.
+        batch_uncontended: Resolve contention-free packets in one array
+            pass (default).  Disable to force every packet through the
+            event heap -- the result is identical; the flag exists for
+            the equivalence tests and for debugging.
     """
     params = topology.params
     packets = _packetize(messages, packet_bytes, params)
-    #: next free cycle for each directed link (u, v)
-    link_free: Dict[Tuple[int, int], int] = {}
-    #: event heap: (time, seq, packet_index, hop_index)
+    if not packets:
+        return SimReport(
+            makespan_cycles=0,
+            mean_packet_latency=0.0,
+            max_packet_latency=0,
+            packets_delivered=0,
+            message_completion={},
+        )
+    tables = topology.routing_tables()
+    n = tables.num_nodes
+    pkt_arr = np.array(packets, dtype=np.int64)
+    inject, src, dst, flits, mids = pkt_arr.T
+    tables.check_reachable(src, dst, topology.name)
+    pair = src * n + dst
+    starts = tables.route_indptr[pair]
+    hops = tables.route_indptr[pair + 1] - starts
+
+    # One gather of every packet's route links; a link used by a single
+    # packet can never queue, so packets touching only such links are
+    # contention-free and close in constant time.
+    entry_links = tables.route_links[concat_ranges(starts, hops)]
+    usage = np.bincount(entry_links, minlength=tables.num_directed_links)
+    pkt_of_entry = np.repeat(np.arange(len(packets), dtype=np.int64), hops)
+    shared = np.zeros(len(packets), dtype=np.int64)
+    np.add.at(shared, pkt_of_entry, (usage[entry_links] > 1).astype(np.int64))
+    contended = shared > 0
+    if not batch_uncontended:
+        contended = np.ones(len(packets), dtype=bool)
+
+    # Store-and-forward completion at zero load: injection + head-flit
+    # pipeline + one serialisation per hop.
+    completion = np.array(
+        inject + tables.pipeline_cycles[src, dst] + hops * flits
+    )
+    latencies = completion - inject
+
+    contended_ids = np.nonzero(contended)[0]
+    if contended_ids.size:
+        _simulate_contended(
+            tables, params, inject, flits, starts, hops,
+            contended_ids, completion, latencies,
+        )
+
+    message_completion: Dict[int, int] = {}
+    for mid, done in zip(mids.tolist(), completion.tolist()):
+        prev = message_completion.get(mid, 0)
+        message_completion[mid] = max(prev, done)
+
+    delivered = len(packets)
+    return SimReport(
+        makespan_cycles=int(completion.max()),
+        mean_packet_latency=float(latencies.sum()) / delivered,
+        max_packet_latency=int(latencies.max()),
+        packets_delivered=delivered,
+        message_completion=message_completion,
+        batched_packets=delivered - int(contended_ids.size),
+    )
+
+
+def _simulate_contended(
+    tables,
+    params: NoIParams,
+    inject: np.ndarray,
+    flits: np.ndarray,
+    starts: np.ndarray,
+    hops: np.ndarray,
+    contended_ids: np.ndarray,
+    completion: np.ndarray,
+    latencies: np.ndarray,
+) -> None:
+    """Event-heap simulation of the contended packet subset, in place.
+
+    Contended packets only ever queue against each other (their links
+    are disjoint from every fast-path packet's by construction), so
+    simulating the subset alone is exact.  FIFO tie-breaking follows
+    packetisation order, matching the full event-loop semantics.
+    """
+    route_links = tables.route_links
+    link_free: Dict[int, int] = {}
     events: List[Tuple[int, int, int, int]] = []
     seq = itertools.count()
-    routes = [
-        topology.route(src, dst) for _inject, src, dst, _f, _m in packets
-    ]
-    for i, (inject, _src, _dst, _flits, _mid) in enumerate(packets):
-        heapq.heappush(events, (inject, next(seq), i, 0))
-
-    completion = [0] * len(packets)
-    latencies = [0] * len(packets)
-    message_completion: Dict[int, int] = {}
-
+    for i in contended_ids.tolist():
+        heapq.heappush(events, (int(inject[i]), next(seq), i, 0))
+    stage = tables.stage_cycles
+    link_u = tables.link_u
+    link_v = tables.link_v
+    wire = tables.link_wire_cycles
     while events:
         now, _s, pkt, hop = heapq.heappop(events)
-        route = routes[pkt]
-        inject, _src, _dst, flits, mid = packets[pkt]
-        if hop >= len(route) - 1:
+        if hop >= int(hops[pkt]):
             completion[pkt] = now
-            latencies[pkt] = now - inject
-            prev = message_completion.get(mid, 0)
-            message_completion[mid] = max(prev, now)
+            latencies[pkt] = now - int(inject[pkt])
             continue
-        u, v = route[hop], route[hop + 1]
+        edge = int(route_links[int(starts[pkt]) + hop])
         # Router pipeline: the source router is charged on injection,
         # each downstream router on arrival -- the same accounting as
         # the analytic path_pipeline_cycles model.
         ready = now
         if hop == 0:
-            ready += params.router_stage_cycles(topology.router_ports(u))
-        start = max(ready, link_free.get((u, v), 0))
-        serialization = flits
-        wire = params.link_delay_cycles(
-            topology.graph.edges[u, v]["length_mm"]
-        )
-        link_free[(u, v)] = start + serialization
+            ready += int(stage[link_u[edge]])
+        start = max(ready, link_free.get(edge, 0))
+        serialization = int(flits[pkt])
+        link_free[edge] = start + serialization
         arrival = (
-            start + serialization + wire
-            + params.router_stage_cycles(topology.router_ports(v))
+            start + serialization + int(wire[edge]) + int(stage[link_v[edge]])
         )
         heapq.heappush(events, (arrival, next(seq), pkt, hop + 1))
-
-    delivered = len(packets)
-    return SimReport(
-        makespan_cycles=max(completion, default=0),
-        mean_packet_latency=(sum(latencies) / delivered) if delivered else 0.0,
-        max_packet_latency=max(latencies, default=0),
-        packets_delivered=delivered,
-        message_completion=message_completion,
-    )
 
 
 def simulate_transfers(
@@ -146,10 +228,15 @@ def simulate_transfers(
     transfers: Sequence[Tuple[int, int, int]],
     *,
     packet_bytes: int = PACKET_BYTES,
+    batch_uncontended: bool = True,
 ) -> SimReport:
     """Convenience wrapper: simulate ``(src, dst, bytes)`` transfers."""
     messages = [
         Message(src=s, dst=d, payload_bytes=b, message_id=i)
         for i, (s, d, b) in enumerate(transfers)
     ]
-    return simulate(topology, messages, packet_bytes=packet_bytes)
+    return simulate(
+        topology, messages,
+        packet_bytes=packet_bytes,
+        batch_uncontended=batch_uncontended,
+    )

@@ -123,6 +123,10 @@ class Topology:
             )
         self._hops_cache: Dict[int, Dict[int, int]] = {}
         self._path_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        #: Lazily built all-pairs NumPy route tables (see
+        #: :mod:`repro.net.routing`); one build serves every vectorized
+        #: consumer because topologies are immutable after construction.
+        self._routing_tables = None
 
     # ------------------------------------------------------------------
     # basic shape
@@ -181,6 +185,22 @@ class Topology:
     # ------------------------------------------------------------------
     # routing queries
 
+    def routing_tables(self):
+        """All-pairs NumPy route tables, built once and memoized.
+
+        Returns:
+            repro.net.routing.RoutingTables: Dense hop/pipeline/energy
+            matrices plus the CSR link incidence of every minimal route.
+            Building the tables also warms :meth:`route`'s cache, so the
+            scalar reference model and the vectorized engine share the
+            exact same routes.
+        """
+        if self._routing_tables is None:
+            from ..net.routing import build_routing_tables
+
+            self._routing_tables = build_routing_tables(self)
+        return self._routing_tables
+
     def hops(self, src: int, dst: int) -> int:
         """Minimal router-to-router hop count between two chiplets.
 
@@ -189,6 +209,11 @@ class Topology:
         """
         if src == dst:
             return 0
+        if self._routing_tables is not None:
+            hop = int(self._routing_tables.hops[src, dst])
+            if hop < 0:
+                raise nx.NetworkXNoPath(f"{self.name}: no path {src}->{dst}")
+            return hop
         cached = self._hops_cache.get(src)
         if cached is None:
             cached = nx.single_source_shortest_path_length(self.graph, src)

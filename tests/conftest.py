@@ -10,8 +10,8 @@ from repro.noi.kite import build_kite
 from repro.noi.mesh import build_mesh
 from repro.noi.swap import SwapSynthesisConfig, build_swap
 from repro.pim.chiplet import ChipletSpec
-from repro.workloads.dnn import DNNModel
-from repro.workloads.layers import LayerGraphBuilder
+
+from helpers import make_toy_model
 
 
 @pytest.fixture(scope="session")
@@ -43,20 +43,6 @@ def small_floret():
 @pytest.fixture(scope="session")
 def spec():
     return ChipletSpec.from_params()
-
-
-def make_toy_model(name: str = "toy", blocks: int = 2) -> DNNModel:
-    """A small residual CNN sized to span ~5 chiplets (2M weights each)."""
-    b = LayerGraphBuilder(name, (3, 16, 16))
-    x = b.add_conv(b.input_index, 64, kernel=3, padding=1, name="stem")
-    for i in range(blocks):
-        y = b.add_conv(x, 64, kernel=3, padding=1, name=f"b{i}/c1")
-        y = b.add_conv(y, 64, kernel=3, padding=1, name=f"b{i}/c2")
-        x = b.add_add([x, y], name=f"b{i}/add")
-    x = b.add_flatten(x, name="flatten")
-    x = b.add_fc(x, 512, name="fc1")
-    x = b.add_fc(x, 10, name="fc2")
-    return DNNModel(name, "toy", b.build())
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,7 @@ import pytest
 from repro.workloads.dnn import DNNModel, weighted_chain_edges
 from repro.workloads.layers import LayerGraphBuilder
 
-from conftest import make_toy_model
+from helpers import make_toy_model
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,7 @@ from repro.core.mapping import ContiguousMapper, GreedyMapper, TaskPlacement
 from repro.pim.allocation import plan_allocation
 from repro.pim.chiplet import ChipletSpec
 
-from conftest import make_toy_model
+from helpers import make_toy_model
 
 
 @pytest.fixture(scope="module")

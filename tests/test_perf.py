@@ -9,7 +9,7 @@ from repro.net.perf import evaluate_task
 from repro.pim.allocation import plan_allocation
 from repro.pim.chiplet import ChipletSpec
 
-from conftest import make_toy_model
+from helpers import make_toy_model
 
 
 @pytest.fixture(scope="module")

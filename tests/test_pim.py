@@ -24,7 +24,7 @@ from repro.pim.reram import (
 )
 from repro.workloads.zoo import build_model
 
-from conftest import make_toy_model
+from helpers import make_toy_model
 
 
 class TestCrossbar:

@@ -1,0 +1,179 @@
+"""Property tests: cached routing tables vs the scalar route oracle.
+
+Covers the satellite requirements: tables hold *minimal* routes, hop
+counts are symmetric where the topology is undirected, and every
+derived matrix (pipeline, energy, length) agrees with the scalar
+per-route computations.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.net.analytic import (
+    path_pipeline_cycles,
+    transfer_energy_pj,
+    flits_for_bytes,
+)
+from repro.net.routing import build_routing_tables, concat_ranges
+from repro.noi.topology import Chiplet, Link, Topology
+
+
+def _sample_pairs(n, rng, count=60):
+    src = rng.integers(0, n, count)
+    dst = rng.integers(0, n, count)
+    keep = src != dst
+    return src[keep], dst[keep]
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestTableStructure:
+    def test_memoized_on_topology(self, small_mesh):
+        assert small_mesh.routing_tables() is small_mesh.routing_tables()
+
+    def test_directed_links_double_undirected(self, small_mesh):
+        t = small_mesh.routing_tables()
+        assert t.num_directed_links == 2 * small_mesh.num_links
+
+    def test_hops_diagonal_zero(self, small_kite):
+        t = small_kite.routing_tables()
+        assert np.all(np.diag(t.hops) == 0)
+
+    def test_concat_ranges(self):
+        out = concat_ranges(np.array([5, 0, 9]), np.array([2, 0, 3]))
+        assert out.tolist() == [5, 6, 9, 10, 11]
+        assert concat_ranges(np.array([], dtype=int),
+                             np.array([], dtype=int)).size == 0
+
+
+class TestMinimalRoutes:
+    @pytest.mark.parametrize("fixture", [
+        "small_mesh", "small_kite", "small_swap",
+    ])
+    def test_hops_are_graph_minimal(self, fixture, request):
+        topo = request.getfixturevalue(fixture)
+        t = topo.routing_tables()
+        truth = dict(nx.all_pairs_shortest_path_length(topo.graph))
+        n = topo.num_chiplets
+        for s in range(0, n, 7):
+            for d in range(n):
+                assert t.hops[s, d] == truth[s][d]
+
+    def test_floret_hops_minimal(self, small_floret):
+        topo = small_floret.topology
+        t = topo.routing_tables()
+        truth = dict(nx.all_pairs_shortest_path_length(topo.graph))
+        for s in range(0, topo.num_chiplets, 5):
+            for d in range(topo.num_chiplets):
+                assert t.hops[s, d] == truth[s][d]
+
+    @pytest.mark.parametrize("fixture", [
+        "small_mesh", "small_kite", "small_swap",
+    ])
+    def test_hops_symmetric_on_undirected_topologies(self, fixture, request):
+        t = request.getfixturevalue(fixture).routing_tables()
+        assert np.array_equal(t.hops, t.hops.T)
+
+    def test_route_lengths_match_hops(self, small_mesh):
+        t = small_mesh.routing_tables()
+        counts = (t.route_indptr[1:] - t.route_indptr[:-1]).reshape(
+            t.num_nodes, t.num_nodes
+        )
+        assert np.array_equal(counts, np.maximum(t.hops, 0))
+
+
+class TestScalarAgreement:
+    def test_routes_identical_to_scalar(self, small_swap, rng):
+        t = small_swap.routing_tables()
+        for s, d in zip(*_sample_pairs(small_swap.num_chiplets, rng)):
+            assert t.route_nodes(int(s), int(d)) == small_swap.route(
+                int(s), int(d)
+            )
+
+    def test_route_links_are_contiguous_walks(self, small_kite, rng):
+        t = small_kite.routing_tables()
+        for s, d in zip(*_sample_pairs(small_kite.num_chiplets, rng)):
+            links = t.route_link_ids(int(s), int(d))
+            assert t.link_u[links[0]] == s
+            assert t.link_v[links[-1]] == d
+            assert np.array_equal(t.link_v[links[:-1]], t.link_u[links[1:]])
+
+    @pytest.mark.parametrize("fixture", [
+        "small_mesh", "small_kite", "small_swap",
+    ])
+    def test_pipeline_matches_scalar(self, fixture, request, rng):
+        topo = request.getfixturevalue(fixture)
+        t = topo.routing_tables()
+        for s, d in zip(*_sample_pairs(topo.num_chiplets, rng)):
+            assert t.pipeline_cycles[s, d] == path_pipeline_cycles(
+                topo, int(s), int(d)
+            )
+
+    def test_energy_per_flit_matches_scalar(self, small_mesh, rng):
+        t = small_mesh.routing_tables()
+        payload = 640
+        flits = flits_for_bytes(payload, small_mesh.params)
+        for s, d in zip(*_sample_pairs(small_mesh.num_chiplets, rng)):
+            scalar = transfer_energy_pj(small_mesh, int(s), int(d), payload)
+            table = flits * float(
+                t.route_router_energy_pj_per_flit[s, d]
+                + t.route_link_energy_pj_per_flit[s, d]
+            )
+            assert table == pytest.approx(scalar, rel=1e-9)
+
+    def test_route_length_matches_scalar(self, small_swap, rng):
+        t = small_swap.routing_tables()
+        for s, d in zip(*_sample_pairs(small_swap.num_chiplets, rng, 30)):
+            assert t.route_length_mm[s, d] == pytest.approx(
+                small_swap.path_length_mm(int(s), int(d)), rel=1e-9
+            )
+
+    def test_tables_respect_existing_route_cache(self):
+        chiplets = [Chiplet(i, x=i % 3, y=i // 3) for i in range(6)]
+        links = [Link(i, i + 1, length_mm=3.0) for i in range(5)]
+        topo = Topology("line6", chiplets, links)
+        before = topo.route(0, 5)
+        t = topo.routing_tables()
+        assert t.route_nodes(0, 5) == before
+        assert topo.route(0, 5) == before
+
+
+class TestVerticalLinks:
+    def test_vertical_energy_and_flags(self):
+        chiplets = [Chiplet(0, 0, 0, z=0), Chiplet(1, 0, 0, z=1)]
+        links = [Link(0, 1, length_mm=0.1, vertical=True)]
+        topo = Topology("stack2", chiplets, links)
+        t = topo.routing_tables()
+        assert bool(t.link_vertical[0]) and bool(t.link_vertical[1])
+        scalar = transfer_energy_pj(topo, 0, 1, 64)
+        flits = flits_for_bytes(64, topo.params)
+        table = flits * float(t.energy_pj_per_flit(
+            np.array([0]), np.array([1])
+        )[0])
+        assert table == pytest.approx(scalar, rel=1e-9)
+
+
+class TestUnreachable:
+    def test_disconnected_pairs_marked(self):
+        chiplets = [Chiplet(i, x=i, y=0) for i in range(4)]
+        links = [Link(0, 1, length_mm=3.0), Link(2, 3, length_mm=3.0)]
+        topo = Topology("split", chiplets, links)
+        t = topo.routing_tables()
+        assert t.hops[0, 2] == -1
+        with pytest.raises(nx.NetworkXNoPath):
+            t.check_reachable(np.array([0]), np.array([2]), "split")
+
+    def test_topology_hops_uses_tables(self):
+        chiplets = [Chiplet(i, x=i, y=0) for i in range(4)]
+        links = [Link(0, 1, length_mm=3.0), Link(2, 3, length_mm=3.0)]
+        topo = Topology("split", chiplets, links)
+        topo.routing_tables()
+        assert topo.hops(0, 1) == 1
+        with pytest.raises(nx.NetworkXNoPath):
+            topo.hops(0, 3)

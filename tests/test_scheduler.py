@@ -8,7 +8,7 @@ from repro.core.mapping import ContiguousMapper, GreedyMapper
 from repro.core.scheduler import SystemScheduler
 from repro.workloads.tasks import DNNTask
 
-from conftest import make_toy_model
+from helpers import make_toy_model
 
 
 def toy_tasks(n: int):

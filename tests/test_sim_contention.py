@@ -1,0 +1,176 @@
+"""Simulator contention semantics + fast-path equivalence tests.
+
+Satellite coverage: FIFO per-link ordering, per-hop serialisation
+latency, zero-load agreement with the analytic model, and exactness of
+the array-batched contention-free fast path against the event loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.analytic import packet_latency_cycles, path_pipeline_cycles
+from repro.net.simulator import Message, simulate, simulate_transfers
+from repro.noi.topology import Chiplet, Link, Topology
+
+
+@pytest.fixture(scope="module")
+def line():
+    chiplets = [Chiplet(i, x=i, y=0) for i in range(8)]
+    links = [Link(i, i + 1, length_mm=3.0) for i in range(7)]
+    return Topology("line8", chiplets, links)
+
+
+def _flits_per_packet(topo):
+    return topo.params.flits_per_packet
+
+
+class TestFifoOrdering:
+    def test_injection_order_wins_on_shared_link(self, line):
+        report = simulate(
+            line,
+            [Message(0, 3, 64, inject_cycle=0, message_id=0),
+             Message(0, 3, 64, inject_cycle=0, message_id=1)],
+        )
+        # Same route, same time: the first-packetized message holds the
+        # link first and completes first.
+        assert (
+            report.message_completion[0] < report.message_completion[1]
+        )
+
+    def test_earlier_injection_completes_first(self, line):
+        report = simulate(
+            line,
+            [Message(0, 4, 64, inject_cycle=5, message_id=0),
+             Message(0, 4, 64, inject_cycle=0, message_id=1)],
+        )
+        assert (
+            report.message_completion[1] < report.message_completion[0]
+        )
+
+    def test_fifo_holds_per_link_downstream(self, line):
+        # Message 1 merges onto (2,3) behind message 0's packets.
+        report = simulate(
+            line,
+            [Message(0, 4, 128, inject_cycle=0, message_id=0),
+             Message(2, 4, 128, inject_cycle=0, message_id=1)],
+        )
+        solo = simulate(line, [Message(2, 4, 128, inject_cycle=0)])
+        assert report.message_completion[1] >= solo.makespan_cycles
+
+
+class TestSerialization:
+    def test_second_packet_delayed_by_serialization(self, line):
+        flits = _flits_per_packet(line)
+        pair = simulate(
+            line,
+            [Message(0, 1, 64, message_id=0),
+             Message(0, 1, 64, message_id=1)],
+        )
+        # One shared single-hop link: the trailing packet starts exactly
+        # ``flits`` cycles after the leader.
+        assert (
+            pair.message_completion[1] - pair.message_completion[0] == flits
+        )
+
+    def test_multipacket_message_serialises_itself(self, line):
+        flits = _flits_per_packet(line)
+        one = simulate(line, [Message(0, 1, 64)])
+        four = simulate(line, [Message(0, 1, 256)])
+        assert (
+            four.makespan_cycles - one.makespan_cycles == 3 * flits
+        )
+
+
+class TestZeroLoadAgreement:
+    def test_single_hop_matches_analytic_packet_latency(self, line):
+        report = simulate(line, [Message(0, 1, 64)])
+        assert report.makespan_cycles == packet_latency_cycles(line, 0, 1)
+
+    def test_zero_load_closed_form(self, line):
+        # Store-and-forward at zero load: pipeline + one serialisation
+        # per hop.
+        for dst in (1, 2, 4, 7):
+            report = simulate(line, [Message(0, dst, 64)])
+            hops = line.hops(0, dst)
+            expected = (
+                path_pipeline_cycles(line, 0, dst)
+                + hops * _flits_per_packet(line)
+            )
+            assert report.makespan_cycles == expected
+            # Never faster than the analytic (wormhole) lower bound.
+            assert report.makespan_cycles >= packet_latency_cycles(
+                line, 0, dst
+            )
+
+    def test_disjoint_traffic_takes_fast_path(self, line):
+        report = simulate(
+            line,
+            [Message(0, 1, 64, message_id=0),
+             Message(2, 3, 64, message_id=1),
+             Message(4, 5, 64, message_id=2)],
+        )
+        assert report.batched_packets == 3
+
+    def test_shared_traffic_uses_event_loop(self, line):
+        report = simulate(
+            line,
+            [Message(0, 2, 64, message_id=0),
+             Message(1, 3, 64, message_id=1)],
+        )
+        assert report.batched_packets == 0
+
+
+class TestFastPathExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_batched_equals_event_loop_on_mesh(self, small_mesh, seed):
+        rng = np.random.default_rng(seed)
+        n = small_mesh.num_chiplets
+        transfers = [
+            (int(s), int(d), int(p))
+            for s, d, p in zip(
+                rng.integers(0, n, 40),
+                rng.integers(0, n, 40),
+                rng.integers(1, 512, 40),
+            )
+        ]
+        fast = simulate_transfers(small_mesh, transfers)
+        slow = simulate_transfers(
+            small_mesh, transfers, batch_uncontended=False
+        )
+        assert fast.makespan_cycles == slow.makespan_cycles
+        assert fast.mean_packet_latency == slow.mean_packet_latency
+        assert fast.max_packet_latency == slow.max_packet_latency
+        assert fast.packets_delivered == slow.packets_delivered
+        assert fast.message_completion == slow.message_completion
+        assert slow.batched_packets == 0
+
+    def test_mixed_contended_and_free(self, line):
+        # Messages 0/1 fight over (0,1); message 2 is alone on (5,6).
+        msgs = [
+            Message(0, 1, 128, message_id=0),
+            Message(0, 1, 128, message_id=1),
+            Message(5, 6, 64, message_id=2),
+        ]
+        fast = simulate(line, msgs)
+        slow = simulate(line, msgs, batch_uncontended=False)
+        assert fast.message_completion == slow.message_completion
+        assert fast.batched_packets == 1  # only message 2's lone packet
+
+    def test_floret_fast_path_exact(self, small_floret):
+        topo = small_floret.topology
+        rng = np.random.default_rng(7)
+        n = topo.num_chiplets
+        transfers = [
+            (int(s), int(d), int(p))
+            for s, d, p in zip(
+                rng.integers(0, n, 30),
+                rng.integers(0, n, 30),
+                rng.integers(1, 1024, 30),
+            )
+        ]
+        fast = simulate_transfers(topo, transfers)
+        slow = simulate_transfers(topo, transfers, batch_uncontended=False)
+        assert fast.message_completion == slow.message_completion
+        assert fast.makespan_cycles == slow.makespan_cycles

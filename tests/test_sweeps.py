@@ -1,0 +1,181 @@
+"""Unit tests: the SweepRunner parameter-sweep subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.sweeps import (
+    SweepCase,
+    SweepRunner,
+    case_topology,
+    evaluate_comm_case,
+    evaluate_topology_case,
+    sweep_grid,
+    synthetic_traffic,
+)
+from repro.net.analytic import communication_cost
+
+
+def _boom_evaluate(case: SweepCase):
+    if case.arch == "boom":
+        raise RuntimeError("synthetic failure")
+    return {"value": float(case.num_chiplets)}
+
+
+class TestSweepCase:
+    def test_case_id_includes_overrides(self):
+        case = SweepCase(
+            arch="siam", num_chiplets=16, workload="uniform", seed=3,
+            noi_overrides=(("flit_bytes", 64),),
+        )
+        assert "siam/16/uniform/s3" in case.case_id
+        assert "flit_bytes=64" in case.case_id
+
+    def test_params_apply_overrides(self):
+        case = SweepCase(arch="siam", noi_overrides=(("flit_bytes", 64),))
+        assert case.params().flit_bytes == 64
+
+    def test_topology_override_reaches_builder(self):
+        base = case_topology(SweepCase(arch="siam", num_chiplets=16))
+        wide = case_topology(SweepCase(
+            arch="siam", num_chiplets=16,
+            noi_overrides=(("chiplet_pitch_mm", 6.0),),
+        ))
+        assert (
+            wide.total_link_length_mm() > base.total_link_length_mm()
+        )
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        cases = sweep_grid(
+            archs=("siam", "kite"), sizes=(16, 36),
+            workloads=("uniform", "neighbor"), seeds=(0, 1),
+        )
+        assert len(cases) == 2 * 2 * 2 * 2
+        assert len({c.case_id for c in cases}) == len(cases)
+
+    def test_topology_major_order(self):
+        cases = sweep_grid(archs=("siam", "kite"), workloads=("a", "b"))
+        assert [c.arch for c in cases] == ["siam", "siam", "kite", "kite"]
+
+
+class TestSyntheticTraffic:
+    @pytest.mark.parametrize(
+        "pattern", ["uniform", "neighbor", "hotspot", "transpose"]
+    )
+    def test_patterns_deterministic(self, pattern):
+        a = synthetic_traffic(pattern, 16, seed=4)
+        b = synthetic_traffic(pattern, 16, seed=4)
+        assert np.array_equal(a, b)
+        assert a.shape[1] == 3
+        assert np.all(a[:, 2] >= 1)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            synthetic_traffic("nope", 16, seed=0)
+
+
+class TestRunnerInline:
+    def test_inline_run_collects_metrics(self):
+        cases = sweep_grid(
+            archs=("siam",), sizes=(16,),
+            workloads=("uniform", "neighbor"), seeds=(0, 1),
+        )
+        outcome = SweepRunner(evaluate_comm_case, workers=1).run(cases)
+        assert len(outcome) == 4
+        assert not outcome.failures
+        assert outcome.workers == 1
+        assert np.all(outcome.metric("latency_cycles") > 0)
+
+    def test_inline_matches_scalar_oracle(self):
+        case = SweepCase(arch="kite", num_chiplets=16, workload="uniform",
+                         seed=2)
+        metrics = evaluate_comm_case(case)
+        topo = case_topology(case)
+        oracle = communication_cost(
+            topo, [tuple(r) for r in
+                   synthetic_traffic("uniform", 16, 2).tolist()]
+        )
+        assert metrics["latency_cycles"] == oracle.latency_cycles
+        assert metrics["energy_pj"] == pytest.approx(
+            oracle.energy_pj, rel=1e-9
+        )
+
+    def test_errors_are_captured_not_raised(self):
+        cases = [SweepCase(arch="siam", num_chiplets=16),
+                 SweepCase(arch="boom", num_chiplets=16)]
+        outcome = SweepRunner(_boom_evaluate, workers=1).run(cases)
+        assert len(outcome.ok) == 1
+        assert len(outcome.failures) == 1
+        assert "synthetic failure" in outcome.failures[0].error
+
+    def test_mix_case_rejects_unsupported_axes(self):
+        from repro.eval.sweeps import evaluate_mix_case
+
+        # The schedule path has no parameter plumbing: silently
+        # returning default-parameter data for an override sweep would
+        # mislabel identical results, so it must refuse.
+        with pytest.raises(ValueError, match="noi_overrides"):
+            evaluate_mix_case(SweepCase(
+                arch="floret", num_chiplets=100, workload="WL1",
+                noi_overrides=(("flit_bytes", 16),),
+            ))
+        with pytest.raises(ValueError, match="seed"):
+            evaluate_mix_case(SweepCase(
+                arch="floret", num_chiplets=100, workload="WL1", seed=3,
+            ))
+
+    def test_topology_census_metrics(self):
+        outcome = SweepRunner(evaluate_topology_case, workers=1).run(
+            sweep_grid(archs=("siam", "kite"), sizes=(16,))
+        )
+        by_arch = outcome.by_arch()
+        # Kite (folded torus) has more links than a mesh at equal size.
+        assert (
+            by_arch["kite"][0].metrics["num_links"]
+            > by_arch["siam"][0].metrics["num_links"]
+        )
+
+
+class TestRunnerParallel:
+    def test_process_pool_or_fallback_is_correct(self):
+        """Pool path when available; silently-inline otherwise -- either
+        way results must equal the inline reference run."""
+        cases = sweep_grid(
+            archs=("siam",), sizes=(16,),
+            workloads=("uniform", "neighbor", "transpose"), seeds=(0, 1),
+        )
+        parallel = SweepRunner(evaluate_comm_case, workers=2).run(cases)
+        inline = SweepRunner(evaluate_comm_case, workers=1).run(cases)
+        assert not parallel.failures
+        assert [r.case for r in parallel.results] == [
+            r.case for r in inline.results
+        ]
+        for p, i in zip(parallel.results, inline.results):
+            assert p.metrics == i.metrics
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        cases = sweep_grid(
+            archs=("siam", "kite"), sizes=(16,),
+            workloads=("uniform", "neighbor"), seeds=(0,),
+        )
+        return SweepRunner(evaluate_comm_case, workers=1).run(cases)
+
+    def test_pivot_table(self, outcome):
+        table = outcome.pivot("energy_pj")
+        assert set(table) == {"uniform", "neighbor"}
+        assert set(table["uniform"]) == {"siam", "kite"}
+
+    def test_rows_for_format_table(self, outcome):
+        rows = outcome.rows(["latency_cycles", "energy_pj"])
+        assert len(rows) == 4
+        assert all(len(r) == 3 for r in rows)
+
+    def test_group_by_workload(self, outcome):
+        groups = outcome.group_by(lambda c: c.workload)
+        assert {len(v) for v in groups.values()} == {2}

@@ -1,0 +1,179 @@
+"""Equivalence tests: vectorized engine vs the scalar reference oracles.
+
+The satellite requirement: the batched NumPy engine must match the
+scalar analytic model within 1e-9 *relative* tolerance across mesh
+(SIAM), Kite, SWAP and Floret topologies and random traffic matrices.
+Integer metrics (latencies, flit and packet counts) must match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.analytic import (
+    CommReport,
+    communication_cost,
+    multicast_step_cost,
+)
+from repro.net.vectorized import (
+    communication_cost_vec,
+    multicast_step_cost_vec,
+    traffic_matrix_cost,
+    traffic_matrix_to_transfers,
+    transfers_to_arrays,
+    unicast_step_cost_vec,
+)
+
+TOPOLOGY_FIXTURES = ("small_mesh", "small_kite", "small_swap",
+                     "small_floret")
+
+
+def _topology(request, fixture):
+    topo = request.getfixturevalue(fixture)
+    # The floret fixture yields the whole design; the rest are topologies.
+    return topo.topology if fixture == "small_floret" else topo
+
+
+def _random_transfers(n, rng, count=300, max_payload=4096):
+    return [
+        (int(s), int(d), int(p))
+        for s, d, p in zip(
+            rng.integers(0, n, count),
+            rng.integers(0, n, count),
+            rng.integers(0, max_payload, count),
+        )
+    ]
+
+
+def _random_groups(n, rng, count=50, max_payload=4096):
+    return [
+        (
+            int(rng.integers(0, n)),
+            tuple(int(d) for d in rng.integers(0, n, int(rng.integers(1, 6)))),
+            int(rng.integers(0, max_payload)),
+        )
+        for _ in range(count)
+    ]
+
+
+def assert_reports_equal(scalar: CommReport, vec: CommReport) -> None:
+    # Integer accounting must be exact.
+    assert vec.latency_cycles == scalar.latency_cycles
+    assert vec.serial_latency_cycles == scalar.serial_latency_cycles
+    assert vec.total_flits == scalar.total_flits
+    assert vec.packet_count == scalar.packet_count
+    assert vec.packet_latency_sum == scalar.packet_latency_sum
+    # Float sums may reassociate: 1e-9 relative tolerance.
+    assert vec.energy_pj == pytest.approx(scalar.energy_pj, rel=1e-9)
+    assert vec.weighted_hops == pytest.approx(scalar.weighted_hops, rel=1e-9)
+    assert vec.mean_packet_latency == pytest.approx(
+        scalar.mean_packet_latency, rel=1e-9
+    )
+
+
+class TestCommunicationCost:
+    @pytest.mark.parametrize("fixture", TOPOLOGY_FIXTURES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_on_random_transfers(self, fixture, seed,
+                                                request):
+        topo = _topology(request, fixture)
+        rng = np.random.default_rng(seed)
+        transfers = _random_transfers(topo.num_chiplets, rng)
+        assert_reports_equal(
+            communication_cost(topo, transfers),
+            communication_cost_vec(topo, transfers),
+        )
+
+    def test_empty_transfer_set(self, small_mesh):
+        assert_reports_equal(
+            communication_cost(small_mesh, []),
+            communication_cost_vec(small_mesh, []),
+        )
+
+    def test_self_and_zero_payload_filtered(self, small_mesh):
+        transfers = [(3, 3, 512), (4, 5, 0), (4, 5, 64)]
+        assert_reports_equal(
+            communication_cost(small_mesh, transfers),
+            communication_cost_vec(small_mesh, transfers),
+        )
+
+    def test_accepts_numpy_array_input(self, small_mesh):
+        arr = np.array([[0, 5, 256], [7, 2, 1024]], dtype=np.int64)
+        assert_reports_equal(
+            communication_cost(small_mesh, [tuple(r) for r in arr.tolist()]),
+            communication_cost_vec(small_mesh, arr),
+        )
+
+
+class TestTrafficMatrix:
+    @pytest.mark.parametrize("fixture", TOPOLOGY_FIXTURES)
+    def test_matrix_equals_scalar_transfer_list(self, fixture, request):
+        topo = _topology(request, fixture)
+        n = topo.num_chiplets
+        rng = np.random.default_rng(9)
+        matrix = rng.integers(0, 2048, (n, n))
+        matrix[rng.random((n, n)) < 0.6] = 0
+        transfers = [
+            (s, d, int(matrix[s, d]))
+            for s in range(n) for d in range(n)
+        ]
+        assert_reports_equal(
+            communication_cost(topo, transfers),
+            traffic_matrix_cost(topo, matrix),
+        )
+
+    def test_matrix_must_be_square(self, small_mesh):
+        with pytest.raises(ValueError):
+            traffic_matrix_cost(small_mesh, np.zeros((3, 4)))
+
+    def test_matrix_to_transfers_drops_zeros(self):
+        m = np.zeros((4, 4), dtype=np.int64)
+        m[0, 1] = 7
+        m[2, 2] = 9  # diagonal: dropped later by transfers_to_arrays
+        out = traffic_matrix_to_transfers(m)
+        src, dst, payload = transfers_to_arrays(out)
+        assert src.tolist() == [0] and dst.tolist() == [1]
+        assert payload.tolist() == [7]
+
+
+class TestStepCost:
+    @pytest.mark.parametrize("fixture", TOPOLOGY_FIXTURES)
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_multicast_step_matches_scalar(self, fixture, seed, request):
+        topo = _topology(request, fixture)
+        rng = np.random.default_rng(seed)
+        groups = _random_groups(topo.num_chiplets, rng)
+        assert_reports_equal(
+            multicast_step_cost(topo, groups),
+            multicast_step_cost_vec(topo, groups),
+        )
+
+    def test_floret_uses_tree_semantics(self, small_floret):
+        topo = small_floret.topology
+        assert topo.multicast_capable
+        groups = [(0, (1, 2, 3, 4), 640)]
+        tree = multicast_step_cost_vec(topo, groups)
+        # Replicated unicasts inject strictly more flits than one tree.
+        unicast = unicast_step_cost_vec(
+            topo, [(0, d, 640) for d in (1, 2, 3, 4)]
+        )
+        assert tree.total_flits < unicast.total_flits
+        assert tree.energy_pj < unicast.energy_pj
+
+    def test_unicast_step_matches_scalar_on_mesh(self, small_mesh):
+        rng = np.random.default_rng(5)
+        groups = _random_groups(small_mesh.num_chiplets, rng)
+        # Mesh is not multicast-capable: both engines must degenerate to
+        # the replicated-unicast step model.
+        assert not small_mesh.multicast_capable
+        assert_reports_equal(
+            multicast_step_cost(small_mesh, groups),
+            multicast_step_cost_vec(small_mesh, groups),
+        )
+
+    def test_empty_step(self, small_kite):
+        assert_reports_equal(
+            multicast_step_cost(small_kite, []),
+            multicast_step_cost_vec(small_kite, []),
+        )

@@ -73,7 +73,7 @@ class TestOccupancyFromSchedule:
         from repro.core.scheduler import SystemScheduler
         from repro.workloads.tasks import DNNTask
 
-        from conftest import make_toy_model
+        from helpers import make_toy_model
 
         model = make_toy_model()
         scheduler = SystemScheduler(
