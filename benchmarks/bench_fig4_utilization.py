@@ -6,36 +6,65 @@ chiplets it finds.  We reproduce the effect with a hop-budget admission
 rule: baselines reject placements whose consecutive loads exceed the
 budget (stalling tasks and stranding free chiplets), while Floret's
 contiguous mapper never rejects.
+
+Ported to the :class:`~repro.eval.sweeps.SweepRunner` fan-out: one case
+per architecture through ``evaluate_utilization_case``, each worker
+scheduling its architecture in parallel (and through the result store
+when one is attached).
 """
 
 from __future__ import annotations
 
 from _bench_utils import run_once
 
-from repro.eval import exp_fig4, format_table
+from repro.eval import (
+    ALL_ARCHS,
+    SweepCase,
+    SweepRunner,
+    evaluate_utilization_case,
+    format_table,
+)
+
+
+def _sweep():
+    cases = [
+        SweepCase(arch=arch, num_chiplets=100, workload="WL3", tag="fig4")
+        for arch in ALL_ARCHS
+    ]
+    outcome = SweepRunner(
+        evaluate_utilization_case, workers=len(cases), chunksize=1
+    ).run(cases)
+    assert not outcome.failures, outcome.failures
+    return outcome
 
 
 def test_fig4_utilization(benchmark):
-    rows = run_once(benchmark, exp_fig4)
+    outcome = run_once(benchmark, _sweep)
     table = format_table(
         ["arch", "hop budget", "utilization", "rejected mappings",
          "relaxed", "makespan (cyc)"],
         [
-            (r.arch, r.hop_budget if r.hop_budget is not None else "-",
-             r.utilization, r.constraint_failures, r.relaxed_mappings,
-             r.makespan_cycles)
-            for r in rows
+            (
+                r.case.arch,
+                int(r.metrics["hop_budget"])
+                if r.metrics["hop_budget"] >= 0 else "-",
+                r.metrics["utilization"],
+                int(r.metrics["constraint_failures"]),
+                int(r.metrics["relaxed_mappings"]),
+                int(r.metrics["makespan_cycles"]),
+            )
+            for r in outcome.ok
         ],
         title="Fig. 4: runtime resource utilisation under contiguity QoS",
     )
     print()
     print(table)
-    by_arch = {r.arch: r for r in rows}
+    by_arch = {r.case.arch: r.metrics for r in outcome.ok}
     # Floret never rejects a mapping.
-    assert by_arch["floret"].constraint_failures == 0
+    assert by_arch["floret"]["constraint_failures"] == 0
     # The design-time-optimised baselines hit the contiguity wall.
-    assert by_arch["swap"].constraint_failures > 0
+    assert by_arch["swap"]["constraint_failures"] > 0
     assert (
-        by_arch["swap"].constraint_failures
-        >= by_arch["siam"].constraint_failures
+        by_arch["swap"]["constraint_failures"]
+        >= by_arch["siam"]["constraint_failures"]
     )

@@ -4,29 +4,46 @@ Paper: performance-only (Floret) mapping shows ~17 K higher peak
 temperature and more hotspots on the bottom tier than the joint
 performance-thermal mapping.  The benchmark prints side-by-side ASCII
 heat maps on a shared temperature scale.
+
+Ported to the :class:`~repro.eval.sweeps.SweepRunner` path: the single
+DNN10 case runs through ``evaluate_moo_case``, whose tier temperature
+maps arrive as array payloads (the part of a result a
+:class:`~repro.eval.store.ResultStore` persists as ``.npz``).
 """
 
 from __future__ import annotations
 
 from _bench_utils import run_once
 
-from repro.eval import exp_fig7
+from repro.eval import SweepCase, SweepRunner, evaluate_moo_case
 from repro.thermal import render_tier_ascii
 
 
+def _sweep():
+    case = SweepCase(arch="floret", num_chiplets=100, workload="DNN10",
+                     tag="fig7")
+    outcome = SweepRunner(evaluate_moo_case, workers=1).run([case])
+    assert not outcome.failures, outcome.failures
+    return outcome.results[0]
+
+
 def test_fig7_hotspots(benchmark):
-    result = run_once(benchmark, exp_fig7)
-    low = min(result.joint_map.min(), result.floret_map.min())
-    high = max(result.joint_map.max(), result.floret_map.max())
+    result = run_once(benchmark, _sweep)
+    metrics = result.metrics
+    floret_map = result.arrays["floret_tier_map_k"]
+    joint_map = result.arrays["joint_tier_map_k"]
+    low = min(joint_map.min(), floret_map.min())
+    high = max(joint_map.max(), floret_map.max())
     print()
     print("Fig. 7: bottom-tier heat maps (shared scale "
           f"{low:.1f}..{high:.1f} K; darker = hotter)")
-    print(f"\n(a) Floret-3D, peak {result.floret.peak_k:.1f} K, "
-          f"{result.floret.hotspot_pes} hotspot PEs:")
-    print(render_tier_ascii(result.floret_map, low_k=low, high_k=high))
-    print(f"\n(b) joint perf-thermal, peak {result.joint.peak_k:.1f} K, "
-          f"{result.joint.hotspot_pes} hotspot PEs:")
-    print(render_tier_ascii(result.joint_map, low_k=low, high_k=high))
-    print(f"\npeak delta: {result.peak_delta_k:.1f} K (paper ~17 K)")
-    assert result.peak_delta_k > 4.0
-    assert result.floret.hotspot_pes >= result.joint.hotspot_pes
+    print(f"\n(a) Floret-3D, peak {metrics['floret_peak_k']:.1f} K, "
+          f"{int(metrics['floret_hotspot_pes'])} hotspot PEs:")
+    print(render_tier_ascii(floret_map, low_k=low, high_k=high))
+    print(f"\n(b) joint perf-thermal, peak {metrics['joint_peak_k']:.1f} K, "
+          f"{int(metrics['joint_hotspot_pes'])} hotspot PEs:")
+    print(render_tier_ascii(joint_map, low_k=low, high_k=high))
+    peak_delta = metrics["floret_peak_k"] - metrics["joint_peak_k"]
+    print(f"\npeak delta: {peak_delta:.1f} K (paper ~17 K)")
+    assert peak_delta > 4.0
+    assert metrics["floret_hotspot_pes"] >= metrics["joint_hotspot_pes"]

@@ -19,7 +19,15 @@ import time
 
 from _bench_utils import quick_mode, run_once
 
-from repro.eval import SweepRunner, evaluate_comm_case, format_table, sweep_grid
+from repro.eval import (
+    RunningPivot,
+    RunningStats,
+    StreamingSweepRunner,
+    SweepRunner,
+    evaluate_comm_case,
+    format_table,
+    sweep_grid,
+)
 from repro.eval.sweeps import case_topology, synthetic_traffic
 from repro.net.analytic import communication_cost
 from repro.net.vectorized import communication_cost_vec
@@ -78,12 +86,34 @@ def _run():
     # vectorized pass.
     outcome = SweepRunner(evaluate_comm_case, workers=4).run(cases)
     assert not outcome.failures, outcome.failures
-    return cases, scalar_reports, scalar_s, vector_reports, vector_s, outcome
+    # The streaming path folds the same grid into running aggregations
+    # with bounded memory; its aggregates must match gather-at-end.
+    stream_aggs = (RunningPivot("energy_pj"),
+                   RunningStats("latency_cycles"))
+    stream_out = StreamingSweepRunner(
+        evaluate_comm_case, workers=4
+    ).run_stream(cases, stream_aggs)
+    assert not stream_out.failures, stream_out.failures
+    return (cases, scalar_reports, scalar_s, vector_reports, vector_s,
+            outcome, stream_aggs)
 
 
 def test_sweep_engine_speedup(benchmark):
-    cases, scalar_reports, scalar_s, vector_reports, vector_s, outcome = (
-        run_once(benchmark, _run)
+    (cases, scalar_reports, scalar_s, vector_reports, vector_s, outcome,
+     stream_aggs) = run_once(benchmark, _run)
+    # Streamed aggregation == gather-at-end aggregation on the full grid.
+    stream_pivot, stream_latency = stream_aggs
+    gather_pivot = outcome.pivot("energy_pj")
+    table = stream_pivot.table()
+    assert set(table) == set(gather_pivot)
+    for row, cols in gather_pivot.items():
+        assert set(table[row]) == set(cols)
+        for col, mean in cols.items():
+            assert abs(table[row][col] - mean) <= 1e-12 * max(1.0, abs(mean))
+    latencies = outcome.metric("latency_cycles")
+    assert stream_latency.count == len(latencies)
+    assert abs(stream_latency.sum - latencies.sum()) <= (
+        1e-12 * max(1.0, abs(latencies.sum()))
     )
     speedup = scalar_s / max(vector_s, 1e-12)
     table = format_table(

@@ -5,35 +5,63 @@ inference and prints paper-reported vs measured parameter counts.
 The CIFAR-10 rows match the paper within ~3%; several ImageNet rows in
 the paper's printed table are internally inconsistent (see
 EXPERIMENTS.md).
+
+Ported to the :class:`~repro.eval.sweeps.SweepRunner` fan-out: one case
+per DNN id through ``evaluate_table1_case``, shape inference running in
+parallel worker processes.
 """
 
 from __future__ import annotations
 
 from _bench_utils import run_once
 
-from repro.eval import exp_table1, format_table
+from repro.eval import (
+    SweepCase,
+    SweepRunner,
+    evaluate_table1_case,
+    format_table,
+)
+from repro.workloads.zoo import TABLE1_SPEC
+
+
+def _sweep():
+    cases = [
+        SweepCase(arch="floret", workload=dnn_id, tag="table1")
+        for dnn_id, _, _, _ in TABLE1_SPEC
+    ]
+    outcome = SweepRunner(
+        evaluate_table1_case, workers=4, chunksize=2
+    ).run(cases)
+    assert not outcome.failures, outcome.failures
+    return outcome
 
 
 def test_table1_workloads(benchmark):
-    rows = run_once(benchmark, exp_table1)
-    assert len(rows) == 13
+    outcome = run_once(benchmark, _sweep)
+    assert len(outcome.ok) == 13
+    spec = {row[0]: row for row in TABLE1_SPEC}
     table = format_table(
         ["id", "model", "dataset", "paper (M)", "measured (M)"],
         [
-            (r.dnn_id, r.model_name, r.dataset,
-             r.paper_params_millions, r.measured_params_millions)
-            for r in rows
+            (
+                r.case.workload,
+                spec[r.case.workload][1],
+                spec[r.case.workload][2],
+                r.metrics["paper_params_millions"],
+                r.metrics["measured_params_millions"],
+            )
+            for r in outcome.ok
         ],
         title="Table I: DNN inference workloads",
     )
     print()
     print(table)
     # CIFAR rows must match the paper closely (they are consistent).
-    by_id = {r.dnn_id: r for r in rows}
+    by_id = {r.case.workload: r.metrics for r in outcome.ok}
     for dnn_id in ("DNN9", "DNN10", "DNN11", "DNN12", "DNN13"):
-        row = by_id[dnn_id]
+        m = by_id[dnn_id]
         assert (
-            abs(row.measured_params_millions - row.paper_params_millions)
-            / row.paper_params_millions
+            abs(m["measured_params_millions"] - m["paper_params_millions"])
+            / m["paper_params_millions"]
             < 0.05
         )

@@ -48,11 +48,14 @@ class MappingCandidate:
     peak_k: float
     perf: TaskPerf
 
+    @property
+    def objectives(self) -> Tuple[float, float]:
+        """The minimised objective vector (EDP, peak temperature)."""
+        return (self.edp, self.peak_k)
+
     def dominates(self, other: "MappingCandidate") -> bool:
         """Pareto dominance on (edp, peak_k), both minimised."""
-        not_worse = self.edp <= other.edp and self.peak_k <= other.peak_k
-        strictly = self.edp < other.edp or self.peak_k < other.peak_k
-        return not_worse and strictly
+        return dominates_objectives(self.objectives, other.objectives)
 
 
 class MappingProblem:
@@ -144,13 +147,31 @@ class MOOResult:
 
 # ---------------------------------------------------------------------------
 # NSGA-II machinery
+#
+# The dominance/sorting/crowding core is generic over minimised
+# objective vectors so other searches (the design-space explorer in
+# :mod:`repro.eval.dse`) can reuse it; the private ``_``-prefixed
+# wrappers below adapt it to :class:`MappingCandidate` populations.
+
+ObjectiveVector = Sequence[float]
 
 
-def _non_dominated_sort(
-    population: Sequence[MappingCandidate],
+def dominates_objectives(a: ObjectiveVector, b: ObjectiveVector) -> bool:
+    """Pareto dominance: ``a`` no worse everywhere, better somewhere."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length ({len(a)} vs {len(b)})"
+        )
+    not_worse = all(x <= y for x, y in zip(a, b))
+    strictly = any(x < y for x, y in zip(a, b))
+    return not_worse and strictly
+
+
+def non_dominated_sort_objectives(
+    points: Sequence[ObjectiveVector],
 ) -> List[List[int]]:
-    """Indices of each Pareto front, best first."""
-    n = len(population)
+    """Indices of each Pareto front, best first (fast NSGA-II sort)."""
+    n = len(points)
     dominated_by: List[List[int]] = [[] for _ in range(n)]
     domination_count = [0] * n
     fronts: List[List[int]] = [[]]
@@ -158,9 +179,9 @@ def _non_dominated_sort(
         for j in range(n):
             if i == j:
                 continue
-            if population[i].dominates(population[j]):
+            if dominates_objectives(points[i], points[j]):
                 dominated_by[i].append(j)
-            elif population[j].dominates(population[i]):
+            elif dominates_objectives(points[j], points[i]):
                 domination_count[i] += 1
         if domination_count[i] == 0:
             fronts[0].append(i)
@@ -177,15 +198,23 @@ def _non_dominated_sort(
     return [f for f in fronts if f]
 
 
-def _crowding_distance(
-    population: Sequence[MappingCandidate], front: Sequence[int]
+def pareto_front_indices(points: Sequence[ObjectiveVector]) -> List[int]:
+    """Indices of the non-dominated points (the first Pareto front)."""
+    if not points:
+        return []
+    return non_dominated_sort_objectives(points)[0]
+
+
+def crowding_distance_objectives(
+    points: Sequence[ObjectiveVector], front: Sequence[int]
 ) -> Dict[int, float]:
     """Crowding distance of each index within one front."""
     distance = {i: 0.0 for i in front}
-    for key in (lambda c: c.edp, lambda c: c.peak_k):
-        ordered = sorted(front, key=lambda i: key(population[i]))
-        lo = key(population[ordered[0]])
-        hi = key(population[ordered[-1]])
+    num_objectives = len(points[front[0]])
+    for axis in range(num_objectives):
+        ordered = sorted(front, key=lambda i: points[i][axis])
+        lo = points[ordered[0]][axis]
+        hi = points[ordered[-1]][axis]
         span = hi - lo
         distance[ordered[0]] = float("inf")
         distance[ordered[-1]] = float("inf")
@@ -193,9 +222,25 @@ def _crowding_distance(
             continue
         for prev_i, i, next_i in zip(ordered, ordered[1:], ordered[2:]):
             distance[i] += (
-                key(population[next_i]) - key(population[prev_i])
+                points[next_i][axis] - points[prev_i][axis]
             ) / span
     return distance
+
+
+def _non_dominated_sort(
+    population: Sequence[MappingCandidate],
+) -> List[List[int]]:
+    """Indices of each Pareto front, best first."""
+    return non_dominated_sort_objectives([c.objectives for c in population])
+
+
+def _crowding_distance(
+    population: Sequence[MappingCandidate], front: Sequence[int]
+) -> Dict[int, float]:
+    """Crowding distance of each index within one front."""
+    return crowding_distance_objectives(
+        [c.objectives for c in population], front
+    )
 
 
 def _order_crossover(

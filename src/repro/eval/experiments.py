@@ -239,55 +239,58 @@ class UtilizationRow:
     makespan_cycles: int
 
 
+def utilization_row(
+    arch: str,
+    mix_name: str = "WL3",
+    hop_budget: int = 2,
+    num_chiplets: int = NUM_CHIPLETS,
+) -> UtilizationRow:
+    """One architecture's Fig. 4 row: scheduling under the contiguity QoS.
+
+    Baselines map greedily but *reject* placements whose consecutive
+    loads exceed ``hop_budget`` hops (the paper's contiguity
+    requirement); the rejections stall the queue and strand free
+    chiplets.  Floret's contiguous mapping never rejects, so it runs
+    without a budget.  Shared by :func:`exp_fig4` and the
+    :func:`repro.eval.sweeps.evaluate_utilization_case` sweep evaluator.
+    """
+    tasks = mix_by_name(mix_name).tasks()
+    if arch == "floret":
+        design = floret_design(num_chiplets)
+        scheduler = SystemScheduler(
+            design.topology,
+            ContiguousMapper(design.allocation_order, design.topology),
+        )
+        budget: Optional[int] = None
+    else:
+        topo = baseline_topology(arch, num_chiplets)
+        scheduler = SystemScheduler(
+            topo,
+            GreedyMapper(topo, max_hops=hop_budget),
+            fallback_mapper=GreedyMapper(topo),
+        )
+        budget = hop_budget
+    result = scheduler.run(tasks)
+    return UtilizationRow(
+        arch=arch,
+        hop_budget=budget,
+        utilization=result.utilization,
+        constraint_failures=result.constraint_failures,
+        relaxed_mappings=result.relaxed_mappings,
+        makespan_cycles=result.makespan_cycles,
+    )
+
+
 def exp_fig4(
     mix_name: str = "WL3",
     hop_budget: int = 2,
     num_chiplets: int = NUM_CHIPLETS,
 ) -> List[UtilizationRow]:
-    """Fig. 4: mapped/unmapped behaviour under a contiguity QoS budget.
-
-    Baselines map greedily but *reject* placements whose consecutive
-    loads exceed ``hop_budget`` hops (the paper's contiguity requirement);
-    the rejections stall the queue and strand free chiplets.  Floret's
-    contiguous mapping never rejects.
-    """
-    tasks = mix_by_name(mix_name).tasks()
-    rows: List[UtilizationRow] = []
-    design = floret_design(num_chiplets)
-    floret_sched = SystemScheduler(
-        design.topology,
-        ContiguousMapper(design.allocation_order, design.topology),
-    )
-    result = floret_sched.run(tasks)
-    rows.append(
-        UtilizationRow(
-            arch="floret",
-            hop_budget=None,
-            utilization=result.utilization,
-            constraint_failures=result.constraint_failures,
-            relaxed_mappings=result.relaxed_mappings,
-            makespan_cycles=result.makespan_cycles,
-        )
-    )
-    for arch in BASELINE_ARCHS:
-        topo = baseline_topology(arch, num_chiplets)
-        strict = SystemScheduler(
-            topo,
-            GreedyMapper(topo, max_hops=hop_budget),
-            fallback_mapper=GreedyMapper(topo),
-        )
-        result = strict.run(tasks)
-        rows.append(
-            UtilizationRow(
-                arch=arch,
-                hop_budget=hop_budget,
-                utilization=result.utilization,
-                constraint_failures=result.constraint_failures,
-                relaxed_mappings=result.relaxed_mappings,
-                makespan_cycles=result.makespan_cycles,
-            )
-        )
-    return rows
+    """Fig. 4: mapped/unmapped behaviour under a contiguity QoS budget."""
+    return [
+        utilization_row(arch, mix_name, hop_budget, num_chiplets)
+        for arch in ALL_ARCHS
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -331,6 +334,40 @@ class Fig6Row:
 FIG6_DNNS: Tuple[str, ...] = ("DNN1", "DNN2", "DNN3", "DNN4", "DNN5")
 
 
+@dataclass(frozen=True)
+class MOOCandidateSummary:
+    """One MOO mapping fully characterised: EDP, thermal, accuracy."""
+
+    edp: float
+    peak_k: float
+    accuracy_drop_pct: float
+    tier: HotspotReport
+
+
+def moo_candidate_summary(
+    problem: MappingProblem, candidate, label: str = ""
+) -> MOOCandidateSummary:
+    """Thermal/accuracy census of one mapping (one thermal solve).
+
+    Shared by :func:`exp_fig6`, :func:`exp_fig7` and the
+    :func:`repro.eval.sweeps.evaluate_moo_case` sweep evaluator.
+    """
+    thermal = problem.thermal_report(candidate.chiplet_ids)
+    n = problem.design.topology.num_chiplets
+    fractions = weight_fractions_per_pe(
+        n, problem.plan, candidate.chiplet_ids
+    )
+    drop = assess(
+        problem.model.name, thermal.temperatures_k, fractions
+    ).drop_pct
+    return MOOCandidateSummary(
+        edp=candidate.edp,
+        peak_k=candidate.peak_k,
+        accuracy_drop_pct=drop,
+        tier=analyze_tier(thermal, problem.design.grid, tier=0, label=label),
+    )
+
+
 def exp_fig6(
     dnn_ids: Sequence[str] = FIG6_DNNS,
     *,
@@ -345,27 +382,20 @@ def exp_fig6(
             population_size=population_size,
             generations=generations,
         )
-        n = problem.design.topology.num_chiplets
-        drops = {}
-        for label, cand in (("floret", result.performance_only),
-                            ("joint", result.joint)):
-            report = problem.thermal_report(cand.chiplet_ids)
-            fractions = weight_fractions_per_pe(
-                n, problem.plan, cand.chiplet_ids
-            )
-            drops[label] = assess(
-                problem.model.name, report.temperatures_k, fractions
-            ).drop_pct
+        floret = moo_candidate_summary(
+            problem, result.performance_only, "floret"
+        )
+        joint = moo_candidate_summary(problem, result.joint, "joint")
         rows.append(
             Fig6Row(
                 dnn_id=dnn_id,
                 model_name=problem.model.name,
-                floret_edp=result.performance_only.edp,
-                joint_edp=result.joint.edp,
-                floret_peak_k=result.performance_only.peak_k,
-                joint_peak_k=result.joint.peak_k,
-                floret_accuracy_drop_pct=drops["floret"],
-                joint_accuracy_drop_pct=drops["joint"],
+                floret_edp=floret.edp,
+                joint_edp=joint.edp,
+                floret_peak_k=floret.peak_k,
+                joint_peak_k=joint.peak_k,
+                floret_accuracy_drop_pct=floret.accuracy_drop_pct,
+                joint_accuracy_drop_pct=joint.accuracy_drop_pct,
             )
         )
     return rows
@@ -394,20 +424,14 @@ def exp_fig7(dnn_id: str = "DNN10") -> Fig7Result:
     The paper uses DNN10 (ResNet-34/CIFAR-10) as the running example.
     """
     problem, result = moo_result(dnn_id)
-    reports = {}
-    maps = {}
-    for label, cand in (("floret", result.performance_only),
-                        ("joint", result.joint)):
-        thermal = problem.thermal_report(cand.chiplet_ids)
-        reports[label] = analyze_tier(
-            thermal, problem.design.grid, tier=0, label=label
-        )
-        maps[label] = reports[label].tier_map_k
+    floret = moo_candidate_summary(problem, result.performance_only,
+                                   "floret")
+    joint = moo_candidate_summary(problem, result.joint, "joint")
     return Fig7Result(
-        floret=reports["floret"],
-        joint=reports["joint"],
-        floret_map=maps["floret"],
-        joint_map=maps["joint"],
+        floret=floret.tier,
+        joint=joint.tier,
+        floret_map=floret.tier.tier_map_k,
+        joint_map=joint.tier.tier_map_k,
     )
 
 

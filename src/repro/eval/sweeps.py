@@ -96,12 +96,20 @@ class SweepCase:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Outcome of one case: metric dict or a captured error."""
+    """Outcome of one case: metric dict or a captured error.
+
+    Array-valued outputs (thermal tier maps and the like) ride in
+    ``arrays`` rather than ``metrics`` so scalar aggregation
+    (``pivot``/``metric``) stays uniform; evaluators simply return
+    ``np.ndarray`` values in their mapping and :func:`_evaluate_one`
+    routes them here.
+    """
 
     case: SweepCase
     metrics: Dict[str, float]
     elapsed_s: float
     error: Optional[str] = None
+    arrays: Optional[Dict[str, np.ndarray]] = None
 
     @property
     def ok(self) -> bool:
@@ -115,6 +123,14 @@ class SweepOutcome:
     results: Tuple[SweepResult, ...]
     elapsed_s: float
     workers: int
+    #: Cases answered from the :class:`~repro.eval.store.ResultStore`
+    #: instead of being evaluated (0 when no store is attached).
+    store_hits: int = 0
+
+    @property
+    def evaluated(self) -> int:
+        """Cases that actually ran the evaluation function."""
+        return len(self.results) - self.store_hits
 
     def __len__(self) -> int:
         return len(self.results)
@@ -187,13 +203,33 @@ def sweep_grid(
     ]
 
 
+def is_pool_failure(exc: BaseException) -> bool:
+    """Whether ``exc`` is a known pool-level (not evaluation) failure.
+
+    Covers pool construction/worker loss (``OSError`` in sandboxes
+    without POSIX semaphores, ``BrokenProcessPool`` after a worker
+    crash) and evaluator-pickling failures.  CPython reports the latter
+    inconsistently: ``pickle.PicklingError`` on direct submission, but
+    ``AttributeError("Can't pickle local object ...")`` or
+    ``TypeError("cannot pickle ...")`` when the queue feeder thread hits
+    it -- so those are matched by message.  Worker-side evaluation
+    errors never reach here: :func:`_evaluate_one` captures them into
+    ``SweepResult.error``.
+    """
+    if isinstance(exc, (OSError, BrokenProcessPool, pickle.PicklingError)):
+        return True
+    if isinstance(exc, (AttributeError, TypeError)):
+        return "pickle" in str(exc).lower()
+    return False
+
+
 def _evaluate_one(
     evaluate: Callable[[SweepCase], Mapping[str, float]],
     case: SweepCase,
 ) -> SweepResult:
     t0 = time.perf_counter()
     try:
-        metrics = dict(evaluate(case))
+        raw = dict(evaluate(case))
     except Exception:
         return SweepResult(
             case=case,
@@ -201,8 +237,18 @@ def _evaluate_one(
             elapsed_s=time.perf_counter() - t0,
             error=traceback.format_exc(limit=8),
         )
+    metrics: Dict[str, float] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in raw.items():
+        if isinstance(value, np.ndarray):
+            arrays[name] = value
+        else:
+            metrics[name] = value
     return SweepResult(
-        case=case, metrics=metrics, elapsed_s=time.perf_counter() - t0
+        case=case,
+        metrics=metrics,
+        elapsed_s=time.perf_counter() - t0,
+        arrays=arrays or None,
     )
 
 
@@ -217,6 +263,10 @@ class SweepRunner:
             overrides either.
         chunksize: Cases per pool task; larger chunks amortise IPC and
             keep same-topology cases on one worker's warm caches.
+        store: Optional :class:`~repro.eval.store.ResultStore`.  When
+            set, cached cases are answered without dispatch and fresh
+            results are appended as they land, so a completed sweep
+            replays with zero evaluations.
     """
 
     def __init__(
@@ -225,10 +275,19 @@ class SweepRunner:
         *,
         workers: Optional[int] = None,
         chunksize: int = 4,
+        store=None,
     ) -> None:
         self.evaluate = evaluate
         self.workers = workers
         self.chunksize = max(1, chunksize)
+        self.store = store
+
+    def case_keys(self, cases: Sequence[SweepCase]) -> List[str]:
+        """Store keys of ``cases`` under this runner's evaluator."""
+        from .store import case_key, evaluator_fingerprint
+
+        fingerprint = evaluator_fingerprint(self.evaluate)
+        return [case_key(c, fingerprint) for c in cases]
 
     def _resolve_workers(self, num_cases: int) -> int:
         env = os.environ.get(WORKERS_ENV)
@@ -241,17 +300,37 @@ class SweepRunner:
     def run(self, cases: Iterable[SweepCase]) -> SweepOutcome:
         cases = list(cases)
         t0 = time.perf_counter()
-        workers = self._resolve_workers(len(cases))
-        results: Optional[List[SweepResult]] = None
-        if workers > 1 and len(cases) > 1:
-            results = self._run_pool(cases, workers)
-        if results is None:
+        results: List[Optional[SweepResult]] = [None] * len(cases)
+        keys: Optional[List[str]] = None
+        pending: List[int] = list(range(len(cases)))
+        if self.store is not None:
+            keys = self.case_keys(cases)
+            pending = []
+            for i, case in enumerate(cases):
+                hit = self.store.get(keys[i], case)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    pending.append(i)
+        store_hits = len(cases) - len(pending)
+        workers = self._resolve_workers(len(pending))
+        evaluated: Optional[List[SweepResult]] = None
+        pending_cases = [cases[i] for i in pending]
+        if workers > 1 and len(pending) > 1:
+            evaluated = self._run_pool(pending_cases, workers)
+        if evaluated is None:
             workers = 1
-            results = [_evaluate_one(self.evaluate, c) for c in cases]
+            evaluated = [_evaluate_one(self.evaluate, c)
+                         for c in pending_cases]
+        for i, result in zip(pending, evaluated):
+            results[i] = result
+            if self.store is not None and keys is not None:
+                self.store.put(keys[i], result)
         return SweepOutcome(
-            results=tuple(results),
+            results=tuple(r for r in results if r is not None),
             elapsed_s=time.perf_counter() - t0,
             workers=workers,
+            store_hits=store_hits,
         )
 
     def _run_pool(
@@ -267,13 +346,15 @@ class SweepRunner:
                         chunksize=self.chunksize,
                     )
                 )
-        except (OSError, BrokenProcessPool, pickle.PicklingError) as exc:
+        except Exception as exc:
             # Known pool-level failures -- restricted sandboxes without
             # /dev/shm semaphores, crashed workers, unpicklable
             # evaluate -- degrade to inline so the sweep still
             # completes, but loudly: silent serial re-runs read as an
             # unexplained performance cliff.  Anything else (a bug in
             # aggregation, KeyboardInterrupt) propagates.
+            if not is_pool_failure(exc):
+                raise
             warnings.warn(
                 f"sweep process pool failed ({exc!r}); "
                 f"re-running {len(cases)} cases inline",
@@ -377,23 +458,120 @@ def evaluate_mix_case(case: SweepCase) -> Dict[str, float]:
     """
     from .experiments import schedule
 
-    if case.noi_overrides:
-        raise ValueError(
-            "evaluate_mix_case does not support noi_overrides "
-            f"(got {case.noi_overrides}); use evaluate_comm_case or add "
-            "parameter plumbing to repro.eval.experiments.schedule"
-        )
-    if case.seed != 0:
-        raise ValueError(
-            "evaluate_mix_case is deterministic; sweeping seed "
-            f"{case.seed} would duplicate identical results"
-        )
+    _reject_schedule_axes(case, "evaluate_mix_case")
     result = schedule(case.arch, case.workload, case.num_chiplets)
     return {
         "mean_packet_latency": result.mean_packet_latency,
         "noi_energy_pj": result.total_noi_energy_pj,
         "utilization": result.utilization,
         "makespan_cycles": float(result.makespan_cycles),
+    }
+
+
+def _reject_schedule_axes(case: SweepCase, evaluator: str) -> None:
+    """Refuse axes the deterministic schedule/MOO paths cannot honour.
+
+    Those paths build their systems through the
+    :mod:`repro.eval.experiments` caches, which take no parameter
+    overrides and no RNG seed; silently returning identical
+    default-parameter results for a swept axis would mislabel
+    duplicated data, so such cases fail loudly instead.
+    """
+    if case.noi_overrides:
+        raise ValueError(
+            f"{evaluator} does not support noi_overrides "
+            f"(got {case.noi_overrides}); add parameter plumbing to "
+            "repro.eval.experiments first"
+        )
+    if case.seed != 0:
+        raise ValueError(
+            f"{evaluator} is deterministic; sweeping seed {case.seed} "
+            "would duplicate identical results"
+        )
+
+
+def evaluate_utilization_case(case: SweepCase) -> Dict[str, float]:
+    """Fig. 4 runtime-utilisation metrics for one (arch, mix) case.
+
+    ``workload`` is a Table II mix name.  Baselines schedule under the
+    paper's 2-hop contiguity QoS budget (rejections strand chiplets);
+    Floret's contiguous mapper runs unconstrained.  The missing budget
+    on Floret is encoded as ``hop_budget = -1``.
+    """
+    from .experiments import utilization_row
+
+    _reject_schedule_axes(case, "evaluate_utilization_case")
+    row = utilization_row(case.arch, case.workload,
+                          num_chiplets=case.num_chiplets)
+    return {
+        "utilization": row.utilization,
+        "constraint_failures": float(row.constraint_failures),
+        "relaxed_mappings": float(row.relaxed_mappings),
+        "makespan_cycles": float(row.makespan_cycles),
+        "hop_budget": float(row.hop_budget)
+        if row.hop_budget is not None else -1.0,
+    }
+
+
+def evaluate_moo_case(case: SweepCase) -> Dict[str, object]:
+    """Section III joint perf-thermal MOO census for one Table I DNN.
+
+    ``workload`` is a DNN id (``"DNN1"``..``"DNN13"``).  Runs (per
+    process, cached) the NSGA-II mapping optimisation on the 100-PE
+    Floret-3D stack and summarises both the performance-only and the
+    joint design: EDP, peak temperature, inference-accuracy drop and
+    bottom-tier hotspot census, plus the tier temperature maps as array
+    payloads (Figs. 6-7 derive entirely from this one evaluator).
+    """
+    from .experiments import moo_candidate_summary, moo_result
+
+    if case.arch != "floret":
+        raise ValueError(
+            "evaluate_moo_case runs on the Floret-3D stack only "
+            f"(got arch={case.arch!r})"
+        )
+    if case.num_chiplets != 100:
+        raise ValueError(
+            "evaluate_moo_case has no size plumbing: repro.eval."
+            "experiments.moo_result builds the paper's 100-PE stack "
+            f"(got num_chiplets={case.num_chiplets})"
+        )
+    _reject_schedule_axes(case, "evaluate_moo_case")
+    problem, result = moo_result(case.workload)
+    floret = moo_candidate_summary(problem, result.performance_only,
+                                   "floret")
+    joint = moo_candidate_summary(problem, result.joint, "joint")
+    return {
+        "floret_edp": floret.edp,
+        "joint_edp": joint.edp,
+        "floret_peak_k": floret.peak_k,
+        "joint_peak_k": joint.peak_k,
+        "floret_accuracy_drop_pct": floret.accuracy_drop_pct,
+        "joint_accuracy_drop_pct": joint.accuracy_drop_pct,
+        "floret_hotspot_pes": float(floret.tier.hotspot_pes),
+        "joint_hotspot_pes": float(joint.tier.hotspot_pes),
+        "floret_tier_peak_k": floret.tier.tier_peak_k,
+        "joint_tier_peak_k": joint.tier.tier_peak_k,
+        "evaluations": float(result.evaluations),
+        "floret_tier_map_k": floret.tier.tier_map_k,
+        "joint_tier_map_k": joint.tier.tier_map_k,
+    }
+
+
+def evaluate_table1_case(case: SweepCase) -> Dict[str, float]:
+    """Table I parameter census for one DNN id in ``workload``.
+
+    ``arch``/``num_chiplets`` are carried as labels only -- the model
+    zoo's shape inference involves no interconnect.
+    """
+    from ..workloads.zoo import TABLE1_SPEC, table1_model
+
+    _reject_schedule_axes(case, "evaluate_table1_case")
+    paper_m = {row[0]: row[3] for row in TABLE1_SPEC}[case.workload]
+    model = table1_model(case.workload)
+    return {
+        "paper_params_millions": paper_m,
+        "measured_params_millions": model.total_params / 1e6,
     }
 
 

@@ -1,0 +1,209 @@
+"""Unit tests: design-space exploration vs the exhaustive scalar oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eval.dse import (
+    DesignSpace,
+    design_space,
+    dse_search,
+    extract_objectives,
+    reference_search,
+)
+from repro.eval.store import ResultStore
+from repro.eval.sweeps import SweepCase, evaluate_comm_case
+
+
+def _synthetic_evaluate(case: SweepCase):
+    """Deterministic metrics with a controlled latency/energy trade-off.
+
+    Latency falls and energy rises with flit width, so every flit value
+    of the smallest system is Pareto-optimal -- a known multi-point
+    front to pin the search against.
+    """
+    flit = dict(case.noi_overrides).get("flit_bytes", 32)
+    latency = case.num_chiplets * 1000.0 / flit
+    energy = case.num_chiplets * float(flit)
+    if case.arch == "kite":  # strictly worse twin of siam
+        latency += 1.0
+        energy += 1.0
+    return {"latency_cycles": latency, "energy_pj": energy}
+
+
+SPACE = design_space(
+    ("siam", "kite"), (16, 36), flit_bytes=(16, 32, 64),
+    workload="uniform", tag="test",
+)
+
+
+class TestDesignSpace:
+    def test_enumeration_is_complete_and_distinct(self):
+        genomes = SPACE.all_genomes()
+        assert len(genomes) == SPACE.num_designs == 2 * 2 * 3
+        assert len(set(genomes)) == len(genomes)
+        case_ids = {c.case_id for c in SPACE.all_cases()}
+        assert len(case_ids) == len(genomes)
+
+    def test_case_materialisation(self):
+        case = SPACE.case(("siam", 16, 64))
+        assert case.arch == "siam"
+        assert case.num_chiplets == 16
+        assert case.noi_overrides == (("flit_bytes", 64),)
+        assert case.workload == "uniform"
+        assert case.tag == "test"
+
+    def test_genome_length_validated(self):
+        with pytest.raises(ValueError, match="genome length"):
+            SPACE.case(("siam", 16))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            DesignSpace(archs=())
+        with pytest.raises(ValueError, match="empty"):
+            design_space(("siam",), flit_bytes=())
+
+    def test_operators_stay_in_space(self):
+        rng = random.Random(0)
+        axes = SPACE.axes()
+        for _ in range(100):
+            a = SPACE.random_genome(rng)
+            b = SPACE.random_genome(rng)
+            for genome in (a, b, SPACE.mutate(a, rng),
+                           SPACE.crossover(a, b, rng)):
+                assert len(genome) == len(axes)
+                for value, (_, values) in zip(genome, axes):
+                    assert value in values
+
+    def test_mutation_changes_at_most_one_axis(self):
+        rng = random.Random(1)
+        genome = ("siam", 16, 32)
+        for _ in range(50):
+            mutated = SPACE.mutate(genome, rng)
+            differing = sum(x != y for x, y in zip(genome, mutated))
+            assert differing <= 1
+
+
+class TestObjectives:
+    def test_direct_extraction(self):
+        assert extract_objectives(
+            {"latency_cycles": 2.0, "energy_pj": 3.0},
+            ("latency_cycles", "energy_pj"),
+        ) == (2.0, 3.0)
+
+    def test_edp_derived(self):
+        assert extract_objectives(
+            {"latency_cycles": 2.0, "energy_pj": 3.0}, ("edp",)
+        ) == (6.0,)
+
+    def test_explicit_edp_preferred(self):
+        assert extract_objectives(
+            {"latency_cycles": 2.0, "energy_pj": 3.0, "edp": 5.0}, ("edp",)
+        ) == (5.0,)
+
+    def test_unknown_objective_raises(self):
+        with pytest.raises(KeyError, match="not derivable"):
+            extract_objectives({"latency_cycles": 1.0}, ("watts",))
+
+
+class TestOracleEquivalence:
+    def test_reference_front_is_the_known_one(self):
+        front = reference_search(
+            SPACE, _synthetic_evaluate,
+            objectives=("latency_cycles", "energy_pj"),
+        )
+        # All three flit widths of the 16-chiplet siam trade off
+        # latency against energy; everything else is dominated.
+        assert {p.genome for p in front} == {
+            ("siam", 16, 16), ("siam", 16, 32), ("siam", 16, 64),
+        }
+
+    def test_search_equals_oracle_when_population_covers_space(self):
+        """The pinned equivalence: exhaustive NSGA-II == scalar oracle."""
+        reference = reference_search(
+            SPACE, _synthetic_evaluate,
+            objectives=("latency_cycles", "energy_pj"),
+        )
+        result = dse_search(
+            SPACE, _synthetic_evaluate,
+            objectives=("latency_cycles", "energy_pj"),
+            population_size=SPACE.num_designs, generations=2,
+            seed=5, workers=1,
+        )
+        assert tuple(p.genome for p in result.pareto_front) == tuple(
+            p.genome for p in reference
+        )
+        assert tuple(p.objectives for p in result.pareto_front) == tuple(
+            p.objectives for p in reference
+        )
+
+    def test_search_equals_oracle_on_real_evaluator(self):
+        small = design_space(("siam", "kite"), (16,), flit_bytes=(16, 32),
+                             workload="uniform")
+        reference = reference_search(small, evaluate_comm_case)
+        result = dse_search(
+            small, evaluate_comm_case,
+            population_size=small.num_designs, generations=1,
+            seed=0, workers=1,
+        )
+        assert result.front_case_ids() == tuple(
+            p.case.case_id for p in reference
+        )
+
+    def test_partial_search_front_is_mutually_nondominated(self):
+        result = dse_search(
+            SPACE, _synthetic_evaluate,
+            objectives=("latency_cycles", "energy_pj"),
+            population_size=4, generations=3, seed=11, workers=1,
+        )
+        front = result.pareto_front
+        assert front
+        for p in front:
+            assert not any(q.dominates(p) for q in result.archive)
+        assert result.evaluations <= SPACE.num_designs
+        assert len(result.archive) == result.evaluations
+
+
+class TestStoreBackedSearch:
+    def test_second_search_is_all_cache_hits(self, tmp_path):
+        first = dse_search(
+            SPACE, _synthetic_evaluate,
+            objectives=("latency_cycles", "energy_pj"),
+            population_size=SPACE.num_designs, generations=1,
+            seed=2, workers=1, store=ResultStore(tmp_path),
+        )
+        assert first.store_hits == 0
+        assert first.evaluations == SPACE.num_designs
+        second = dse_search(
+            SPACE, _synthetic_evaluate,
+            objectives=("latency_cycles", "energy_pj"),
+            population_size=SPACE.num_designs, generations=1,
+            seed=2, workers=1, store=ResultStore(tmp_path),
+        )
+        assert second.evaluations == 0
+        assert second.store_hits == SPACE.num_designs
+        assert second.front_case_ids() == first.front_case_ids()
+        assert tuple(p.objectives for p in second.pareto_front) == tuple(
+            p.objectives for p in first.pareto_front
+        )
+
+    def test_failed_candidates_warn_and_are_excluded(self):
+        def exploding(case):
+            if case.num_chiplets == 36:
+                raise RuntimeError("bad size")
+            return _synthetic_evaluate(case)
+
+        with pytest.warns(RuntimeWarning, match="DSE evaluation failed"):
+            result = dse_search(
+                SPACE, exploding,
+                objectives=("latency_cycles", "energy_pj"),
+                population_size=SPACE.num_designs, generations=3,
+                seed=0, workers=1,
+            )
+        assert all(p.case.num_chiplets != 36 for p in result.archive)
+        # Failed genomes are memoised: each of the six 36-chiplet
+        # designs fails exactly once even though tournament offspring
+        # re-propose them across three generations.
+        assert result.failures == 2 * 1 * 3  # archs x sizes{36} x flits

@@ -14,7 +14,11 @@ from repro.core.moo import (
     _mutate,
     _non_dominated_sort,
     _order_crossover,
+    crowding_distance_objectives,
+    dominates_objectives,
+    non_dominated_sort_objectives,
     optimize_mapping,
+    pareto_front_indices,
 )
 from repro.net.perf import TaskPerf
 from repro.noc3d.grid3d import build_floret_3d
@@ -36,6 +40,123 @@ class TestDominance:
 
     def test_equal_no_dominance(self):
         assert not cand(1, 1).dominates(cand(1, 1))
+
+
+def _random_candidates(seed: int, n: int = 40) -> list:
+    """Random (edp, peak) populations, duplicates included on purpose."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        edp = rng.choice([1.0, 2.0, 3.0, rng.uniform(0.5, 5.0)])
+        peak = rng.choice([300.0, 310.0, rng.uniform(295.0, 340.0)])
+        out.append(cand(edp, peak))
+    return out
+
+
+class TestDominanceProperties:
+    """Property-style checks of the Pareto relation and front extraction."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_irreflexive(self, seed):
+        for c in _random_candidates(seed):
+            assert not c.dominates(c)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_antisymmetric(self, seed):
+        population = _random_candidates(seed)
+        for a in population:
+            for b in population:
+                assert not (a.dominates(b) and b.dominates(a))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_transitive(self, seed):
+        population = _random_candidates(seed, n=20)
+        for a in population:
+            for b in population:
+                if not a.dominates(b):
+                    continue
+                for c in population:
+                    if b.dominates(c):
+                        assert a.dominates(c)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_first_front_is_mutually_nondominated(self, seed):
+        population = _random_candidates(seed)
+        front = _non_dominated_sort(population)[0]
+        for i in front:
+            for j in front:
+                assert not population[i].dominates(population[j])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_dominated_point_is_outside_the_first_front(self, seed):
+        population = _random_candidates(seed)
+        fronts = _non_dominated_sort(population)
+        first = set(fronts[0])
+        for i, c in enumerate(population):
+            dominated = any(d.dominates(c) for d in population)
+            assert (i in first) == (not dominated)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_later_fronts_dominated_by_previous(self, seed):
+        population = _random_candidates(seed)
+        fronts = _non_dominated_sort(population)
+        assert sorted(i for f in fronts for i in f) == list(
+            range(len(population))
+        )
+        for prev, front in zip(fronts, fronts[1:]):
+            for j in front:
+                assert any(
+                    population[i].dominates(population[j]) for i in prev
+                )
+
+
+class TestGenericObjectiveMachinery:
+    """The N-objective core reused by repro.eval.dse."""
+
+    def test_dominates_three_objectives(self):
+        assert dominates_objectives((1, 1, 1), (1, 1, 2))
+        assert not dominates_objectives((1, 1, 1), (1, 1, 1))
+        assert not dominates_objectives((0, 2, 1), (1, 1, 1))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            dominates_objectives((1, 2), (1, 2, 3))
+
+    def test_front_indices_match_naive_filter(self):
+        rng = random.Random(3)
+        points = [
+            (rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1))
+            for _ in range(60)
+        ]
+        naive = {
+            i for i, p in enumerate(points)
+            if not any(dominates_objectives(q, p) for q in points)
+        }
+        assert set(pareto_front_indices(points)) == naive
+
+    def test_front_indices_empty_input(self):
+        assert pareto_front_indices([]) == []
+
+    def test_sort_consistent_with_candidate_wrapper(self):
+        population = _random_candidates(7)
+        generic = non_dominated_sort_objectives(
+            [(c.edp, c.peak_k) for c in population]
+        )
+        assert generic == _non_dominated_sort(population)
+
+    def test_crowding_consistent_with_candidate_wrapper(self):
+        population = _random_candidates(9)
+        front = _non_dominated_sort(population)[0]
+        generic = crowding_distance_objectives(
+            [(c.edp, c.peak_k) for c in population], front
+        )
+        assert generic == _crowding_distance(population, front)
+
+    def test_crowding_three_objectives_extremes_infinite(self):
+        points = [(1.0, 3.0, 2.0), (2.0, 2.0, 9.0), (3.0, 1.0, 4.0)]
+        dist = crowding_distance_objectives(points, [0, 1, 2])
+        assert dist[0] == float("inf")
+        assert dist[2] == float("inf")
 
 
 class TestSorting:

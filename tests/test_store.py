@@ -1,0 +1,294 @@
+"""Unit tests: the content-addressed on-disk ResultStore."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    case_key,
+    evaluator_fingerprint,
+)
+from repro.eval.sweeps import SweepCase, SweepResult
+
+
+def _fn_a(case):
+    return {"value": 1.0}
+
+
+def _fn_b(case):
+    return {"value": 2.0}
+
+
+FP = evaluator_fingerprint(_fn_a)
+
+
+def result_for(case, metrics=None, arrays=None, error=None):
+    return SweepResult(
+        case=case,
+        metrics=metrics if metrics is not None else {"value": 1.0},
+        elapsed_s=0.25,
+        error=error,
+        arrays=arrays,
+    )
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        case = SweepCase(arch="siam", num_chiplets=16, workload="uniform")
+        assert case_key(case, FP) == case_key(case, FP)
+
+    def test_tag_excluded_from_key(self):
+        a = SweepCase(arch="siam", num_chiplets=16, tag="")
+        b = SweepCase(arch="siam", num_chiplets=16, tag="renamed-grid")
+        assert case_key(a, FP) == case_key(b, FP)
+
+    def test_override_order_canonicalised(self):
+        a = SweepCase(arch="siam", noi_overrides=(
+            ("flit_bytes", 64), ("chiplet_pitch_mm", 4.0)))
+        b = SweepCase(arch="siam", noi_overrides=(
+            ("chiplet_pitch_mm", 4.0), ("flit_bytes", 64)))
+        assert case_key(a, FP) == case_key(b, FP)
+
+    @pytest.mark.parametrize("field,value", [
+        ("arch", "kite"), ("num_chiplets", 36),
+        ("workload", "hotspot"), ("seed", 1),
+    ])
+    def test_each_axis_changes_key(self, field, value):
+        from dataclasses import replace
+
+        base = SweepCase(arch="siam", num_chiplets=16, workload="uniform",
+                         seed=0)
+        assert case_key(base, FP) != case_key(
+            replace(base, **{field: value}), FP
+        )
+
+    def test_evaluator_identity_changes_key(self):
+        # Different source code -> different fingerprint -> cold cache.
+        case = SweepCase(arch="siam")
+        assert evaluator_fingerprint(_fn_a) != evaluator_fingerprint(_fn_b)
+        assert case_key(case, evaluator_fingerprint(_fn_a)) != case_key(
+            case, evaluator_fingerprint(_fn_b)
+        )
+
+    def test_fingerprint_names_the_function(self):
+        assert "_fn_a" in evaluator_fingerprint(_fn_a)
+
+    def test_fingerprint_rejects_address_bearing_callables(self):
+        # functools.partial has no __qualname__; its repr embeds a
+        # memory address, which would silently break content-addressing.
+        from functools import partial
+
+        with pytest.raises(TypeError, match="module-level function"):
+            evaluator_fingerprint(partial(_fn_a))
+
+    def test_fingerprint_rejects_stateful_closures(self):
+        # Two closures from one factory share identical source; hashing
+        # it would serve one configuration the other's cached results.
+        def factory(scale):
+            def evaluate(case):
+                return {"x": scale}
+            return evaluate
+
+        with pytest.raises(TypeError, match="captured variables"):
+            evaluator_fingerprint(factory(2.0))
+
+    def test_fingerprint_rejects_bound_methods(self):
+        class Evaluator:
+            def evaluate(self, case):
+                return {"x": 1.0}
+
+        with pytest.raises(TypeError, match="instance state"):
+            evaluator_fingerprint(Evaluator().evaluate)
+
+    def test_package_version_participates_in_key(self, monkeypatch):
+        # Bumping repro.__version__ is the documented lever to
+        # invalidate cached results after callee-code (physics) fixes
+        # that the evaluator-source hash cannot see.
+        import repro
+
+        case = SweepCase(arch="siam")
+        before = case_key(case, FP)
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert case_key(case, FP) != before
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam", num_chiplets=16)
+        key = case_key(case, FP)
+        original = result_for(case, {"latency": 3.25, "energy": 1e-9})
+        assert store.put(key, original)
+        got = store.get(key, case)
+        assert got is not None
+        assert got.metrics == original.metrics
+        assert got.elapsed_s == original.elapsed_s
+        assert got.ok
+
+    def test_float_metrics_roundtrip_exactly(self, tmp_path):
+        # JSON repr round-trips doubles exactly; aggregate reproduction
+        # on warm runs depends on this.
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        value = 28700.999999999996
+        store.put(key, result_for(case, {"m": value}))
+        assert store.get(key, case).metrics["m"] == value
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        assert store.get(case_key(case, FP), case) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_hit_rebinds_to_callers_case(self, tmp_path):
+        # Same key, different tag: the returned result carries the
+        # caller's case (tags are display-only).
+        from dataclasses import replace
+
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam", tag="cold")
+        key = case_key(case, FP)
+        store.put(key, result_for(case))
+        relabelled = replace(case, tag="warm")
+        assert store.get(case_key(relabelled, FP), relabelled).case.tag == (
+            "warm"
+        )
+
+    def test_errors_never_stored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="boom")
+        key = case_key(case, FP)
+        assert not store.put(key, result_for(case, error="Traceback ..."))
+        assert store.get(key, case) is None
+        assert store.stats.skipped_errors == 1
+
+    def test_arrays_roundtrip_via_npz(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="floret", workload="DNN10")
+        key = case_key(case, FP)
+        tier = np.arange(25, dtype=np.float64).reshape(5, 5) + 300.0
+        store.put(key, result_for(case, {"peak_k": 330.0},
+                                  arrays={"tier_map_k": tier}))
+        got = store.get(key, case)
+        assert np.array_equal(got.arrays["tier_map_k"], tier)
+        assert (tmp_path / "arrays" / f"{key}.npz").exists()
+
+    def test_missing_npz_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="floret")
+        key = case_key(case, FP)
+        store.put(key, result_for(case, arrays={"a": np.ones(3)}))
+        (tmp_path / "arrays" / f"{key}.npz").unlink()
+        fresh = ResultStore(tmp_path)
+        # Membership, enumeration and get must agree: a record whose
+        # array payload is gone is absent through every probe.
+        assert fresh.get(key, case) is None
+        assert not fresh.has(key)
+        assert key not in fresh
+        assert len(fresh) == 0
+        assert fresh.keys() == ()
+        assert list(fresh.iter_results()) == []
+
+    def test_has_and_contains_are_stats_neutral(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        store.put(key, result_for(case))
+        assert store.has(key)
+        assert key in store
+        assert not store.has("0" * 64)
+        assert store.stats.hits == 0
+        assert store.stats.misses == 0
+
+    def test_iter_results_is_stats_neutral(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        store.put(case_key(case, FP), result_for(case))
+        reader = ResultStore(tmp_path)
+        assert len(list(reader.iter_results())) == 1
+        assert reader.stats.hits == 0
+        assert reader.stats.misses == 0
+
+    def test_last_writer_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        store.put(key, result_for(case, {"m": 1.0}))
+        store.put(key, result_for(case, {"m": 2.0}))
+        assert store.get(key, case).metrics["m"] == 2.0
+        assert ResultStore(tmp_path).get(key, case).metrics["m"] == 2.0
+
+
+class TestConcurrencyAndDurability:
+    def test_second_instance_sees_appends(self, tmp_path):
+        # Two store handles on one directory (two runner processes):
+        # writes through one become visible to the other on next get.
+        writer = ResultStore(tmp_path)
+        reader = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        assert reader.get(key, case) is None
+        writer.put(key, result_for(case))
+        assert reader.get(key, case) is not None
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        store.put(key, result_for(case))
+        shard = tmp_path / f"shard-{key[:2]}.jsonl"
+        with shard.open("ab") as fh:
+            fh.write(b'{"v": 1, "k": "deadbeef", "metr')  # mid-append
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(key, case) is not None
+        assert len(fresh) == 1
+
+    def test_corrupt_full_line_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        shard = tmp_path / f"shard-{key[:2]}.jsonl"
+        with shard.open("ab") as fh:
+            fh.write(b"not json at all\n")
+        store.put(key, result_for(case))
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(key, case) is not None
+
+    def test_foreign_schema_version_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        shard = tmp_path / f"shard-{key[:2]}.jsonl"
+        record = {"v": STORE_SCHEMA_VERSION + 1, "k": key,
+                  "metrics": {}, "elapsed_s": 0.0}
+        with shard.open("ab") as fh:
+            fh.write((json.dumps(record) + "\n").encode())
+        assert store.get(key, case) is None
+
+    def test_iter_results_reconstructs_cases(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cases = [
+            SweepCase(arch="siam", num_chiplets=16, seed=s,
+                      noi_overrides=(("flit_bytes", 64),), tag="grid")
+            for s in range(3)
+        ]
+        for case in cases:
+            store.put(case_key(case, FP), result_for(case))
+        recovered = {r.case for r in ResultStore(tmp_path).iter_results()}
+        assert recovered == set(cases)
+
+    def test_len_and_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for n in (16, 36, 64):
+            case = SweepCase(arch="siam", num_chiplets=n)
+            store.put(case_key(case, FP), result_for(case))
+        assert len(store) == 3
+        assert len(store.keys()) == 3
+        assert len(ResultStore(tmp_path)) == 3

@@ -6,11 +6,14 @@ import numpy as np
 import pytest
 
 from repro.eval.sweeps import (
+    WORKERS_ENV,
     SweepCase,
     SweepRunner,
     case_topology,
     evaluate_comm_case,
+    evaluate_table1_case,
     evaluate_topology_case,
+    evaluate_utilization_case,
     sweep_grid,
     synthetic_traffic,
 )
@@ -155,6 +158,162 @@ class TestRunnerParallel:
         ]
         for p, i in zip(parallel.results, inline.results):
             assert p.metrics == i.metrics
+
+
+class TestWorkerOverride:
+    """The REPRO_SWEEP_WORKERS env knob beats both defaults and args."""
+
+    def test_env_overrides_constructor_workers(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        runner = SweepRunner(evaluate_comm_case, workers=16)
+        assert runner._resolve_workers(100) == 3
+
+    def test_env_forces_inline(self, monkeypatch):
+        # REPRO_SWEEP_WORKERS=1 turns any sweep into a deterministic,
+        # pool-free run -- the documented debugging escape hatch.
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        cases = sweep_grid(archs=("siam",), sizes=(16,),
+                           workloads=("uniform", "neighbor"))
+        outcome = SweepRunner(evaluate_comm_case, workers=8).run(cases)
+        assert outcome.workers == 1
+        assert not outcome.failures
+
+    def test_env_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert SweepRunner(evaluate_comm_case)._resolve_workers(10) == 1
+
+    def test_unset_env_picks_cpu_case_minimum(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert SweepRunner(evaluate_comm_case)._resolve_workers(1) == 1
+
+
+class TestPoolDegradation:
+    """Pool-level failures degrade to inline evaluation -- loudly."""
+
+    CASES = [SweepCase(arch="siam", num_chiplets=16, workload=w)
+             for w in ("uniform", "neighbor", "transpose")]
+
+    def _broken_pool(self, exc):
+        class BrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *args):
+                return False
+
+            def map(self, *args, **kwargs):
+                raise exc
+
+        return BrokenPool
+
+    @pytest.mark.parametrize("exc", [
+        __import__("concurrent.futures.process",
+                   fromlist=["BrokenProcessPool"]).BrokenProcessPool(
+                       "workers died"),
+        OSError("no /dev/shm semaphores"),
+        __import__("pickle").PicklingError("unpicklable evaluate"),
+    ])
+    def test_known_pool_failures_rerun_inline(self, monkeypatch, exc):
+        import repro.eval.sweeps as sweeps_mod
+
+        monkeypatch.setattr(sweeps_mod, "ProcessPoolExecutor",
+                            self._broken_pool(exc))
+        runner = SweepRunner(evaluate_comm_case, workers=2)
+        with pytest.warns(RuntimeWarning, match="re-running.*inline"):
+            outcome = runner.run(self.CASES)
+        assert outcome.workers == 1
+        assert not outcome.failures
+        inline = SweepRunner(evaluate_comm_case, workers=1).run(self.CASES)
+        for degraded, reference in zip(outcome.results, inline.results):
+            assert degraded.metrics == reference.metrics
+
+    def test_unknown_pool_failures_propagate(self, monkeypatch):
+        import repro.eval.sweeps as sweeps_mod
+
+        monkeypatch.setattr(
+            sweeps_mod, "ProcessPoolExecutor",
+            self._broken_pool(KeyboardInterrupt()),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(evaluate_comm_case, workers=2).run(self.CASES)
+
+    def test_unpicklable_evaluate_degrades_for_real(self):
+        # Not a monkeypatched pool: a genuine lambda evaluator cannot be
+        # shipped to workers, so the real pool raises PicklingError and
+        # the sweep must still complete inline.
+        runner = SweepRunner(
+            lambda case: {"value": float(case.num_chiplets)}, workers=2
+        )
+        with pytest.warns(RuntimeWarning, match="re-running.*inline"):
+            outcome = runner.run(self.CASES)
+        assert outcome.workers == 1
+        assert [r.metrics["value"] for r in outcome.results] == [16.0] * 3
+
+
+class TestStoreIntegration:
+    def test_gather_runner_cold_then_warm(self, tmp_path):
+        from repro.eval.store import ResultStore
+
+        cases = sweep_grid(archs=("siam",), sizes=(16,),
+                           workloads=("uniform", "neighbor"), seeds=(0, 1))
+        cold = SweepRunner(evaluate_comm_case, workers=1,
+                           store=ResultStore(tmp_path)).run(cases)
+        assert cold.store_hits == 0
+        assert cold.evaluated == len(cases)
+        warm = SweepRunner(evaluate_comm_case, workers=1,
+                           store=ResultStore(tmp_path)).run(cases)
+        assert warm.store_hits == len(cases)
+        assert warm.evaluated == 0
+        for a, b in zip(warm.results, cold.results):
+            assert a.case == b.case
+            assert a.metrics == b.metrics
+        assert warm.pivot("energy_pj") == cold.pivot("energy_pj")
+
+    def test_case_keys_track_evaluator(self):
+        cases = [SweepCase(arch="siam", num_chiplets=16)]
+        keys_comm = SweepRunner(evaluate_comm_case).case_keys(cases)
+        keys_topo = SweepRunner(evaluate_topology_case).case_keys(cases)
+        assert keys_comm != keys_topo
+
+
+class TestExperimentEvaluators:
+    """The Fig. 4 / Table I evaluators reject unsupported axes loudly."""
+
+    def test_utilization_rejects_unsupported_axes(self):
+        with pytest.raises(ValueError, match="noi_overrides"):
+            evaluate_utilization_case(SweepCase(
+                arch="swap", num_chiplets=100, workload="WL3",
+                noi_overrides=(("flit_bytes", 16),),
+            ))
+        with pytest.raises(ValueError, match="seed"):
+            evaluate_utilization_case(SweepCase(
+                arch="swap", num_chiplets=100, workload="WL3", seed=2,
+            ))
+
+    def test_table1_census_matches_zoo(self):
+        from repro.workloads.zoo import table1_model
+
+        metrics = evaluate_table1_case(
+            SweepCase(arch="floret", workload="DNN10")
+        )
+        model = table1_model("DNN10")
+        assert metrics["measured_params_millions"] == pytest.approx(
+            model.total_params / 1e6
+        )
+        assert metrics["paper_params_millions"] > 0
+
+    def test_moo_case_rejects_wrong_system(self):
+        from repro.eval.sweeps import evaluate_moo_case
+
+        with pytest.raises(ValueError, match="Floret-3D"):
+            evaluate_moo_case(SweepCase(arch="siam", num_chiplets=100,
+                                        workload="DNN10"))
+        with pytest.raises(ValueError, match="100-PE"):
+            evaluate_moo_case(SweepCase(arch="floret", num_chiplets=36,
+                                        workload="DNN10"))
 
 
 class TestAggregation:
