@@ -5,39 +5,71 @@ discrete-event simulator routes every packet with FIFO link contention.
 This bench validates that the two agree on uncongested traffic and that
 contention only increases latency -- i.e. the analytic numbers are a
 sound lower bound with matching architecture ordering.
+
+Like the other figure benches it rides ``SweepRunner`` with a
+``ResultStore`` (``evaluate_sim_crosscheck_case``): simulator runs are
+cached on disk and a re-run replays from the store with zero
+evaluations, which the bench asserts.  ``REPRO_STORE_DIR`` points the
+store at a persistent directory; unset, a temp directory is used.
 """
 
 from __future__ import annotations
 
+import os
+
 from _bench_utils import run_once
 
-from repro.core.floret import build_floret
-from repro.eval import format_table
-from repro.net import simulate_transfers, transfer_latency_cycles
-from repro.noi import build_kite, build_mesh
+from repro.eval import (
+    ResultStore,
+    SweepRunner,
+    evaluate_sim_crosscheck_case,
+    format_table,
+    sweep_grid,
+)
+
+ARCHS = ("floret", "siam", "kite")
 
 
-def _crosscheck():
-    rows = []
-    for name, topo in (
-        ("floret", build_floret(36, 4).topology),
-        ("siam", build_mesh(36)),
-        ("kite", build_kite(36)),
-    ):
-        # A contiguous layer-chain traffic pattern: i -> i+1 transfers.
-        transfers = [(i, i + 1, 512) for i in range(0, 30, 2)]
-        analytic = sum(
-            transfer_latency_cycles(topo, s, d, b) for s, d, b in transfers
-        )
-        sim = simulate_transfers(topo, transfers)
-        sim_total = sum(sim.message_completion.values())
-        rows.append((name, analytic, sim_total,
-                     sim.mean_packet_latency))
-    return rows
+def _cases():
+    # A contiguous layer-chain traffic pattern: i -> i+1 transfers.
+    return sweep_grid(archs=ARCHS, sizes=(36,), workloads=("chain",))
 
 
-def test_simulator_crosscheck(benchmark):
-    rows = run_once(benchmark, _crosscheck)
+def _store_root(tmp_path_factory):
+    env = os.environ.get("REPRO_STORE_DIR")
+    if env:
+        return env
+    return tmp_path_factory.mktemp("sim-crosscheck-store")
+
+
+def _run(root):
+    cases = _cases()
+    cold = SweepRunner(
+        evaluate_sim_crosscheck_case, workers=1, store=ResultStore(root)
+    ).run(cases)
+    assert not cold.failures, cold.failures
+    # Resumability: a second runner on the same directory answers every
+    # simulator run from the store.
+    warm = SweepRunner(
+        evaluate_sim_crosscheck_case, workers=1, store=ResultStore(root)
+    ).run(cases)
+    assert not warm.failures, warm.failures
+    assert warm.store_hits == len(cases)
+    assert warm.evaluated == 0
+    for a, b in zip(cold.results, warm.results):
+        assert a.metrics == b.metrics, a.case.case_id
+    return cold
+
+
+def test_simulator_crosscheck(benchmark, tmp_path_factory):
+    outcome = run_once(benchmark, _run, _store_root(tmp_path_factory))
+    rows = [
+        (r.case.arch,
+         r.metrics["analytic_total_cycles"],
+         r.metrics["sim_total_cycles"],
+         r.metrics["sim_mean_packet_latency"])
+        for r in outcome.results
+    ]
     table = format_table(
         ["arch", "analytic total (cyc)", "simulated total (cyc)",
          "sim mean pkt (cyc)"],

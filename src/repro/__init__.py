@@ -49,7 +49,9 @@ from .params import (
     ThermalParams,
 )
 
-__version__ = "1.0.0"
+# Participates in every ResultStore key: bump on model-code changes
+# below the evaluator layer so stale cached results self-invalidate.
+__version__ = "1.1.0"
 
 __all__ = [
     "ContiguousMapper",

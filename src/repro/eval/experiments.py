@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.floret import FloretDesign, build_floret
 from ..core.mapping import ContiguousMapper, GreedyMapper
 from ..core.moo import MappingProblem, MOOResult, optimize_mapping
@@ -495,6 +497,231 @@ def exp_sec2_skip_traffic(
             )
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# injection-rate load sweeps (saturation scenarios on the epoch engine)
+
+
+#: Default warm-up window before steady-state measurement, cycles.
+LOAD_SWEEP_WARMUP_CYCLES = 256
+
+#: Default steady-state measurement window, cycles.
+LOAD_SWEEP_MEASURE_CYCLES = 1024
+
+
+@dataclass(frozen=True)
+class LoadSweepSpec:
+    """One load-sweep scenario: open-loop injection into a NoI.
+
+    Every node injects one ``payload_bytes`` message per cycle with
+    probability ``injection_rate`` (Bernoulli injection, the standard
+    open-loop NoC load model); destinations follow ``pattern``.
+    Packets injected during the first ``warmup_cycles`` fill the
+    network; steady-state metrics cover packets injected in the
+    ``measure_cycles`` that follow.
+    """
+
+    pattern: str
+    injection_rate: float
+    warmup_cycles: int = LOAD_SWEEP_WARMUP_CYCLES
+    measure_cycles: int = LOAD_SWEEP_MEASURE_CYCLES
+
+    @property
+    def window_cycles(self) -> int:
+        """Total injection window (warm-up + measurement)."""
+        return self.warmup_cycles + self.measure_cycles
+
+    @property
+    def workload(self) -> str:
+        """The :class:`~repro.eval.sweeps.SweepCase` workload string."""
+        return (
+            f"{self.pattern}@{self.injection_rate:g}"
+            f":w{self.warmup_cycles}+{self.measure_cycles}"
+        )
+
+
+def parse_load_workload(workload: str) -> LoadSweepSpec:
+    """Parse a load-sweep workload string into a :class:`LoadSweepSpec`.
+
+    Format: ``pattern@rate`` with an optional ``:wWARMUP+MEASURE``
+    window suffix -- e.g. ``"uniform@0.05"`` or
+    ``"hotspot@0.1:w512+2048"``.  Keeping every axis inside the
+    workload string lets load sweeps ride :class:`SweepCase` (and thus
+    the store/streaming machinery) unchanged.
+    """
+    spec, _, window = workload.partition(":")
+    pattern, sep, rate_text = spec.partition("@")
+    if not sep or not pattern or not rate_text:
+        raise ValueError(
+            f"load workload {workload!r} is not 'pattern@rate"
+            "[:wWARMUP+MEASURE]'"
+        )
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        raise ValueError(
+            f"load workload {workload!r}: bad injection rate {rate_text!r}"
+        ) from None
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(
+            f"load workload {workload!r}: injection rate must be in "
+            f"(0, 1], got {rate}"
+        )
+    warmup = LOAD_SWEEP_WARMUP_CYCLES
+    measure = LOAD_SWEEP_MEASURE_CYCLES
+    if window:
+        head, sep, tail = window.partition("+")
+        if not (head.startswith("w") and sep and head[1:].isdigit()
+                and tail.isdigit()):
+            raise ValueError(
+                f"load workload {workload!r}: bad window {window!r} "
+                "(expected wWARMUP+MEASURE)"
+            )
+        warmup, measure = int(head[1:]), int(tail)
+        if measure <= 0:
+            raise ValueError(
+                f"load workload {workload!r}: measurement window must "
+                "be positive"
+            )
+    return LoadSweepSpec(
+        pattern=pattern,
+        injection_rate=rate,
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+    )
+
+
+def load_sweep_traffic(
+    spec: LoadSweepSpec,
+    num_chiplets: int,
+    seed: int,
+    *,
+    payload_bytes: int = 64,
+) -> np.ndarray:
+    """Deterministic open-loop message table for one load-sweep case.
+
+    Returns the packed ``(k, 5)`` message array
+    (:func:`repro.net.simulator.message_array` layout) that the
+    simulator engines consume directly: source, pattern destination,
+    payload, injection cycle and message id per Bernoulli injection.
+    Destination patterns mirror
+    :func:`repro.eval.sweeps.synthetic_traffic`.
+    """
+    n = num_chiplets
+    rng = np.random.default_rng(seed * 9973 + n)
+    fire = rng.random((spec.window_cycles, n)) < spec.injection_rate
+    cycle, src = np.nonzero(fire)
+    k = cycle.shape[0]
+    if spec.pattern == "uniform":
+        dst = rng.integers(0, n, k)
+    elif spec.pattern == "neighbor":
+        dst = (src + 1) % n
+    elif spec.pattern == "transpose":
+        dst = n - 1 - src
+    elif spec.pattern == "hotspot":
+        hot = int(rng.integers(0, n))
+        dst = np.where(rng.random(k) < 0.5, hot, rng.integers(0, n, k))
+    else:
+        raise ValueError(f"unknown traffic pattern {spec.pattern!r}")
+    return np.column_stack([
+        src.astype(np.int64),
+        dst.astype(np.int64),
+        np.full(k, payload_bytes, dtype=np.int64),
+        cycle.astype(np.int64),
+        np.arange(k, dtype=np.int64),
+    ])
+
+
+def evaluate_load_sweep_case(case) -> Dict[str, float]:
+    """Load-sweep metrics for one (arch, size, ``pattern@rate``) case.
+
+    The case's ``workload`` is a :func:`parse_load_workload` string, so
+    injection rate and warm-up/steady-state windows sweep as ordinary
+    :class:`~repro.eval.sweeps.SweepCase` axes (store keys included).
+    Runs the packet simulator (``engine="auto"``: the epoch-synchronous
+    engine for any real load) and reports steady-state latency and
+    throughput -- warm-up packets fill the network but are excluded
+    from the steady metrics.
+    """
+    from ..net.simulator import simulate_packets
+    from .sweeps import case_topology
+
+    spec = parse_load_workload(case.workload)
+    topo = case_topology(case)
+    table = load_sweep_traffic(spec, case.num_chiplets, case.seed)
+    sim = simulate_packets(topo, table, engine="auto")
+    n = case.num_chiplets
+    window = spec.window_cycles
+    metrics: Dict[str, float] = {
+        "offered_rate": sim.packets / (n * window) if window else 0.0,
+        "injected_packets": float(sim.packets),
+        "contended_fraction": (
+            sim.contended_packets / sim.packets if sim.packets else 0.0
+        ),
+        "sim_epochs": float(sim.epochs),
+    }
+    if sim.packets == 0:
+        metrics.update(
+            makespan_cycles=0.0, drain_cycles=0.0,
+            steady_packets=0.0, steady_mean_latency=0.0,
+            steady_max_latency=0.0, steady_throughput=0.0,
+        )
+        return metrics
+    makespan = int(sim.completion.max())
+    steady = sim.inject >= spec.warmup_cycles
+    steady_n = int(steady.sum())
+    steady_lat = sim.latency[steady]
+    metrics.update(
+        makespan_cycles=float(makespan),
+        drain_cycles=float(max(0, makespan - window)),
+        steady_packets=float(steady_n),
+        steady_mean_latency=(
+            float(steady_lat.mean()) if steady_n else 0.0
+        ),
+        steady_max_latency=(
+            float(steady_lat.max()) if steady_n else 0.0
+        ),
+        # Accepted steady-state throughput in packets/node/cycle: the
+        # steady packets delivered over the span they occupied the
+        # network.  Tracks offered rate below saturation and flattens
+        # at the saturation point.
+        steady_throughput=(
+            steady_n / (n * (makespan - spec.warmup_cycles))
+            if makespan > spec.warmup_cycles else 0.0
+        ),
+    )
+    return metrics
+
+
+def evaluate_sim_crosscheck_case(case) -> Dict[str, float]:
+    """Analytic-vs-simulator cross-check metrics for one architecture.
+
+    The disjoint chain traffic pattern (``i -> i+1`` transfers on even
+    ``i``) from ``benchmarks/bench_sim_crosscheck.py``: the analytic
+    serial latency must be a sound lower bound of -- and close to --
+    the simulated completion total.  Module-level and derived entirely
+    from the case so simulator runs cache in a
+    :class:`~repro.eval.store.ResultStore` and sweeps are resumable.
+    """
+    from ..net.simulator import simulate_transfers
+    from ..net.vectorized import communication_cost_vec
+    from .sweeps import case_topology
+
+    topo = case_topology(case)
+    transfers = [
+        (i, i + 1, 512) for i in range(0, case.num_chiplets - 2, 2)
+    ]
+    analytic = communication_cost_vec(topo, transfers)
+    sim = simulate_transfers(topo, transfers)
+    return {
+        "analytic_total_cycles": float(analytic.serial_latency_cycles),
+        "sim_total_cycles": float(sum(sim.message_completion.values())),
+        "sim_mean_packet_latency": sim.mean_packet_latency,
+        "sim_max_packet_latency": float(sim.max_packet_latency),
+        "packets_delivered": float(sim.packets_delivered),
+        "batched_packets": float(sim.batched_packets),
+    }
 
 
 # ---------------------------------------------------------------------------

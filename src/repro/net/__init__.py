@@ -1,10 +1,13 @@
 """Interconnect performance models: analytic + packet-level simulation.
 
-Two evaluation engines share one routing substrate:
+Three evaluation layers share one routing substrate:
 
 * scalar reference models (:mod:`repro.net.analytic`) -- the oracles,
 * the batched NumPy engine (:mod:`repro.net.vectorized`) over the
-  precomputed :mod:`repro.net.routing` tables -- the hot path.
+  precomputed :mod:`repro.net.routing` tables -- the hot path,
+* the packet simulator (:mod:`repro.net.simulator`) with its own
+  engine split: closed-form fast path, event-heap oracle and the
+  epoch-synchronous vectorized contention engine.
 """
 
 from .analytic import (
@@ -17,10 +20,25 @@ from .analytic import (
     transfer_latency_cycles,
 )
 from .perf import TaskPerf, evaluate_task
-from .routing import RoutingTables, build_routing_tables
-from .simulator import Message, SimReport, simulate, simulate_transfers
+from .routing import (
+    LinkQueueIndex,
+    RoutingTables,
+    build_link_queue_index,
+    build_routing_tables,
+)
+from .simulator import (
+    ENGINES,
+    Message,
+    PacketSim,
+    SimReport,
+    message_array,
+    simulate,
+    simulate_packets,
+    simulate_transfers,
+)
 from .vectorized import (
     communication_cost_vec,
+    multicast_step_cost_pergroup,
     multicast_step_cost_vec,
     traffic_matrix_cost,
     traffic_matrix_to_transfers,
@@ -29,19 +47,26 @@ from .vectorized import (
 
 __all__ = [
     "CommReport",
+    "ENGINES",
+    "LinkQueueIndex",
     "Message",
+    "PacketSim",
     "RoutingTables",
     "SimReport",
     "TaskPerf",
+    "build_link_queue_index",
     "build_routing_tables",
     "communication_cost",
     "communication_cost_vec",
     "evaluate_task",
     "flits_for_bytes",
+    "message_array",
     "multicast_step_cost",
+    "multicast_step_cost_pergroup",
     "multicast_step_cost_vec",
     "path_pipeline_cycles",
     "simulate",
+    "simulate_packets",
     "simulate_transfers",
     "traffic_matrix_cost",
     "traffic_matrix_to_transfers",

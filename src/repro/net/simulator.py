@@ -8,13 +8,29 @@ ablation bench).  Store-and-forward granularity is the packet (several
 flits); each directed link transmits one packet at a time.
 
 Routes and per-hop constants come from the topology's cached
-:class:`~repro.net.routing.RoutingTables`.  Packets whose routes share
-no directed link with any other packet cannot queue, so their
-completion times are closed-form; the simulator detects them with one
-link-usage ``bincount`` and resolves the whole batch with array
-arithmetic, falling back to the event heap only for the contended
-subset.  ``tests/test_sim_contention.py`` asserts the batched fast path
-is event-loop-exact.
+:class:`~repro.net.routing.RoutingTables`.  The simulator is layered
+into three engines that share one packetisation/report substrate
+(:class:`PacketSim`):
+
+* **closed-form fast path** -- packets whose routes share no directed
+  link with any other packet cannot queue; one link-usage ``bincount``
+  detects them and their completion times are array arithmetic.
+* **event-heap oracle** (``engine="events"``) -- the original per-event
+  Python heap.  Slow, obviously correct; every other engine is pinned
+  to it bit-exactly.
+* **epoch-synchronous vectorized engine** (``engine="epochs"``) -- all
+  in-flight packets advance in lockstep array epochs.  Per-link FIFO
+  queues are ``(link, ready-cycle, seq)`` arrays resolved per epoch
+  with ``np.lexsort`` + segmented scans instead of heap pops; the
+  epoch horizon is bounded by the routing tables'
+  :class:`~repro.net.routing.LinkQueueIndex` forward-delay minimum, so
+  no future event can overtake a resolved one and the result is
+  event-loop exact, including FIFO tie-breaking
+  (``tests/test_sim_engines.py``).
+
+``engine="auto"`` (the default) picks the heap for small contended
+subsets and the epoch engine beyond ``AUTO_EPOCH_MIN_PACKETS`` -- the
+results are identical either way.
 
 This is deliberately not a cycle-accurate RTL model: the paper's claims
 are about *relative* NoI behaviour, and a queueing-accurate packet model
@@ -37,6 +53,13 @@ from .routing import concat_ranges
 #: Default packet payload in bytes.
 PACKET_BYTES = 64
 
+#: Engine selectors accepted by :func:`simulate`.
+ENGINES = ("auto", "events", "epochs")
+
+#: ``engine="auto"``: contended subsets at least this large go through
+#: the epoch engine; below it the heap's constant factor wins.
+AUTO_EPOCH_MIN_PACKETS = 96
+
 
 @dataclass(frozen=True)
 class Message:
@@ -54,7 +77,10 @@ class SimReport:
     """Simulation outcome for a message set.
 
     ``batched_packets`` counts packets resolved on the contention-free
-    fast path (closed-form, no event-heap traffic).
+    fast path (closed-form, no per-event traffic).  ``engine`` names
+    the engine that resolved the contended subset (``"events"``,
+    ``"epochs"``, or ``"none"`` when nothing was contended);
+    ``epochs`` is the lockstep epoch count (0 for the heap).
     """
 
     makespan_cycles: int
@@ -63,6 +89,8 @@ class SimReport:
     packets_delivered: int
     message_completion: Dict[int, int]
     batched_packets: int = 0
+    engine: str = "none"
+    epochs: int = 0
 
     @property
     def total_latency_cycles(self) -> int:
@@ -70,10 +98,76 @@ class SimReport:
         return self.makespan_cycles
 
 
+@dataclass(frozen=True)
+class PacketSim:
+    """Per-packet outcome arrays: the shared report substrate.
+
+    :func:`simulate_packets` returns one of these; :func:`simulate`
+    folds it into a :class:`SimReport`.  Consumers that need per-packet
+    resolution -- the load-sweep experiment layer slices steady-state
+    windows out of ``inject``/``latency`` -- use it directly instead of
+    re-deriving arrays from aggregate metrics.
+    """
+
+    inject: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    flits: np.ndarray
+    message_id: np.ndarray
+    completion: np.ndarray
+    latency: np.ndarray
+    contended: np.ndarray
+    engine: str
+    epochs: int = 0
+
+    @property
+    def packets(self) -> int:
+        return int(self.inject.shape[0])
+
+    @property
+    def contended_packets(self) -> int:
+        return int(self.contended.sum())
+
+    def message_completion(self) -> Dict[int, int]:
+        """Completion cycle of each message (its slowest packet)."""
+        if self.packets == 0:
+            return {}
+        mids, inverse = np.unique(self.message_id, return_inverse=True)
+        done = np.zeros(mids.shape[0], dtype=np.int64)
+        np.maximum.at(done, inverse, self.completion)
+        return dict(zip(mids.tolist(), done.tolist()))
+
+    def report(self) -> SimReport:
+        if self.packets == 0:
+            return SimReport(
+                makespan_cycles=0,
+                mean_packet_latency=0.0,
+                max_packet_latency=0,
+                packets_delivered=0,
+                message_completion={},
+                engine=self.engine,
+            )
+        return SimReport(
+            makespan_cycles=int(self.completion.max()),
+            mean_packet_latency=float(self.latency.sum()) / self.packets,
+            max_packet_latency=int(self.latency.max()),
+            packets_delivered=self.packets,
+            message_completion=self.message_completion(),
+            batched_packets=self.packets - self.contended_packets,
+            engine=self.engine,
+            epochs=self.epochs,
+        )
+
+
 def _packetize(
     messages: Sequence[Message], packet_bytes: int, params: NoIParams
 ) -> List[Tuple[int, int, int, int, int]]:
-    """Split messages into (inject, src, dst, flits, message_id) packets."""
+    """Split messages into (inject, src, dst, flits, message_id) packets.
+
+    The scalar reference implementation: :func:`_packetize_vec` is the
+    production path and is pinned to this one packet-for-packet in
+    ``tests/test_sim_engines.py``.
+    """
     packets = []
     for msg in messages:
         if msg.src == msg.dst or msg.payload_bytes <= 0:
@@ -89,14 +183,78 @@ def _packetize(
     return packets
 
 
+def message_array(messages: Sequence[Message]) -> np.ndarray:
+    """Pack messages into the ``(k, 5)`` int64 table the engines accept.
+
+    Columns: ``src, dst, payload_bytes, inject_cycle, message_id``.
+    Workload generators that already hold arrays (the load-sweep layer)
+    should build this table directly instead of materialising
+    :class:`Message` objects -- :func:`simulate` and
+    :func:`simulate_packets` accept either form.
+    """
+    count = len(messages)
+    out = np.empty((count, 5), dtype=np.int64)
+    for i, m in enumerate(messages):
+        out[i, 0] = m.src
+        out[i, 1] = m.dst
+        out[i, 2] = m.payload_bytes
+        out[i, 3] = m.inject_cycle
+        out[i, 4] = m.message_id
+    return out
+
+
+def _packetize_vec(
+    messages, packet_bytes: int, params: NoIParams
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`_packetize`: one NumPy pass over the messages.
+
+    ``messages`` is a sequence of :class:`Message` or a packed
+    :func:`message_array` table.  Returns ``(inject, src, dst, flits,
+    message_id)`` int64 arrays in the same message-major, chunk-ordered
+    packet order as the scalar reference: every chunk is
+    ``packet_bytes`` except a message's last, which carries the
+    remainder.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if isinstance(messages, np.ndarray):
+        table = messages.reshape(-1, 5).astype(np.int64, copy=False)
+    elif len(messages) == 0:
+        return empty, empty, empty, empty, empty
+    else:
+        table = message_array(messages)
+    if table.shape[0] == 0:
+        return empty, empty, empty, empty, empty
+    src, dst, payload = table[:, 0], table[:, 1], table[:, 2]
+    inject, mids = table[:, 3], table[:, 4]
+    keep = (src != dst) & (payload > 0)
+    src, dst, payload = src[keep], dst[keep], payload[keep]
+    inject, mids = inject[keep], mids[keep]
+    if src.shape[0] == 0:
+        return empty, empty, empty, empty, empty
+    npkts = -(-payload // packet_bytes)
+    total = int(npkts.sum())
+    midx = np.repeat(np.arange(src.shape[0], dtype=np.int64), npkts)
+    pos = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(npkts) - npkts, npkts
+    )
+    chunk = np.where(
+        pos == npkts[midx] - 1,
+        payload[midx] - (npkts[midx] - 1) * packet_bytes,
+        packet_bytes,
+    )
+    flits = -(-chunk // params.flit_bytes)
+    return inject[midx], src[midx], dst[midx], flits, mids[midx]
+
+
 def simulate(
     topology: Topology,
-    messages: Sequence[Message],
+    messages,
     *,
     packet_bytes: int = PACKET_BYTES,
     batch_uncontended: bool = True,
+    engine: str = "auto",
 ) -> SimReport:
-    """Run the event-driven simulation for ``messages`` on ``topology``.
+    """Run the packet simulation for ``messages`` on ``topology``.
 
     Packets follow the same deterministic minimal routes the analytic
     model uses.  At each hop a packet pays the router pipeline, then
@@ -105,27 +263,53 @@ def simulate(
 
     Args:
         topology: The NoI to simulate on.
-        messages: Application-level transfers.
+        messages: Application-level transfers -- a sequence of
+            :class:`Message` or a packed :func:`message_array` table.
         packet_bytes: Packetisation granularity.
         batch_uncontended: Resolve contention-free packets in one array
             pass (default).  Disable to force every packet through the
-            event heap -- the result is identical; the flag exists for
-            the equivalence tests and for debugging.
+            contended engine -- the result is identical; the flag
+            exists for the equivalence tests and for debugging.
+        engine: ``"events"`` (per-event heap oracle), ``"epochs"``
+            (epoch-synchronous vectorized engine) or ``"auto"``
+            (size-based choice).  All three produce bit-identical
+            results.
     """
+    return simulate_packets(
+        topology, messages,
+        packet_bytes=packet_bytes,
+        batch_uncontended=batch_uncontended,
+        engine=engine,
+    ).report()
+
+
+def simulate_packets(
+    topology: Topology,
+    messages,
+    *,
+    packet_bytes: int = PACKET_BYTES,
+    batch_uncontended: bool = True,
+    engine: str = "auto",
+) -> PacketSim:
+    """:func:`simulate` at per-packet resolution (see :class:`PacketSim`)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
     params = topology.params
-    packets = _packetize(messages, packet_bytes, params)
-    if not packets:
-        return SimReport(
-            makespan_cycles=0,
-            mean_packet_latency=0.0,
-            max_packet_latency=0,
-            packets_delivered=0,
-            message_completion={},
+    inject, src, dst, flits, mids = _packetize_vec(
+        messages, packet_bytes, params
+    )
+    num_packets = int(inject.shape[0])
+    if num_packets == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return PacketSim(
+            inject=inject, src=src, dst=dst, flits=flits, message_id=mids,
+            completion=empty, latency=empty.copy(),
+            contended=np.empty(0, dtype=bool), engine="none",
         )
     tables = topology.routing_tables()
     n = tables.num_nodes
-    pkt_arr = np.array(packets, dtype=np.int64)
-    inject, src, dst, flits, mids = pkt_arr.T
     tables.check_reachable(src, dst, topology.name)
     pair = src * n + dst
     starts = tables.route_indptr[pair]
@@ -136,40 +320,42 @@ def simulate(
     # contention-free and close in constant time.
     entry_links = tables.route_links[concat_ranges(starts, hops)]
     usage = np.bincount(entry_links, minlength=tables.num_directed_links)
-    pkt_of_entry = np.repeat(np.arange(len(packets), dtype=np.int64), hops)
-    shared = np.zeros(len(packets), dtype=np.int64)
+    pkt_of_entry = np.repeat(np.arange(num_packets, dtype=np.int64), hops)
+    shared = np.zeros(num_packets, dtype=np.int64)
     np.add.at(shared, pkt_of_entry, (usage[entry_links] > 1).astype(np.int64))
     contended = shared > 0
     if not batch_uncontended:
-        contended = np.ones(len(packets), dtype=bool)
+        contended = np.ones(num_packets, dtype=bool)
 
     # Store-and-forward completion at zero load: injection + head-flit
     # pipeline + one serialisation per hop.
-    completion = np.array(
-        inject + tables.pipeline_cycles[src, dst] + hops * flits
-    )
+    completion = inject + tables.pipeline_cycles[src, dst] + hops * flits
     latencies = completion - inject
 
     contended_ids = np.nonzero(contended)[0]
+    resolved = "none"
+    epochs = 0
     if contended_ids.size:
-        _simulate_contended(
-            tables, params, inject, flits, starts, hops,
-            contended_ids, completion, latencies,
-        )
-
-    message_completion: Dict[int, int] = {}
-    for mid, done in zip(mids.tolist(), completion.tolist()):
-        prev = message_completion.get(mid, 0)
-        message_completion[mid] = max(prev, done)
-
-    delivered = len(packets)
-    return SimReport(
-        makespan_cycles=int(completion.max()),
-        mean_packet_latency=float(latencies.sum()) / delivered,
-        max_packet_latency=int(latencies.max()),
-        packets_delivered=delivered,
-        message_completion=message_completion,
-        batched_packets=delivered - int(contended_ids.size),
+        resolved = engine
+        if engine == "auto":
+            resolved = (
+                "epochs" if contended_ids.size >= AUTO_EPOCH_MIN_PACKETS
+                else "events"
+            )
+        if resolved == "epochs":
+            epochs = _simulate_contended_epochs(
+                tables, inject, flits, starts, hops,
+                contended_ids, completion, latencies,
+            )
+        else:
+            _simulate_contended(
+                tables, params, inject, flits, starts, hops,
+                contended_ids, completion, latencies,
+            )
+    return PacketSim(
+        inject=inject, src=src, dst=dst, flits=flits, message_id=mids,
+        completion=completion, latency=latencies, contended=contended,
+        engine=resolved, epochs=epochs,
     )
 
 
@@ -186,9 +372,10 @@ def _simulate_contended(
 ) -> None:
     """Event-heap simulation of the contended packet subset, in place.
 
-    Contended packets only ever queue against each other (their links
-    are disjoint from every fast-path packet's by construction), so
-    simulating the subset alone is exact.  FIFO tie-breaking follows
+    The exact oracle: every other contended engine is pinned to this
+    one.  Contended packets only ever queue against each other (their
+    links are disjoint from every fast-path packet's by construction),
+    so simulating the subset alone is exact.  FIFO tie-breaking follows
     packetisation order, matching the full event-loop semantics.
     """
     route_links = tables.route_links
@@ -223,20 +410,190 @@ def _simulate_contended(
         heapq.heappush(events, (arrival, next(seq), pkt, hop + 1))
 
 
+def _segmented_cummax(values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Inclusive running maximum within each contiguous segment.
+
+    Fast path: lift each segment onto its own disjoint value band
+    (``+ seg_id * span``) so one global ``np.maximum.accumulate`` can
+    never carry a value across a boundary, then project back.  Exact in
+    int64; falls back to a Hillis-Steele doubling scan in the
+    (pathological) case where the banding would overflow.
+    """
+    n = values.shape[0]
+    if n == 0:
+        return values.copy()
+    vmin = int(values.min())
+    vmax = int(values.max())
+    span = vmax - vmin + 1
+    nseg = int(seg_id[-1]) + 1
+    if abs(vmax) + abs(vmin) + span <= (2 ** 62) // nseg:
+        band = seg_id * span
+        return np.maximum.accumulate(values + band) - band
+    out = values.copy()
+    shift = 1
+    while shift < n:
+        carried = np.where(
+            seg_id[shift:] == seg_id[:-shift], out[:-shift], out[shift:]
+        )
+        out[shift:] = np.maximum(out[shift:], carried)
+        shift *= 2
+    return out
+
+
+def _simulate_contended_epochs(
+    tables,
+    inject: np.ndarray,
+    flits: np.ndarray,
+    starts: np.ndarray,
+    hops: np.ndarray,
+    contended_ids: np.ndarray,
+    completion: np.ndarray,
+    latencies: np.ndarray,
+) -> int:
+    """Epoch-synchronous vectorized simulation of the contended subset.
+
+    All in-flight packets advance in lockstep epochs.  Each epoch
+    resolves every pending event up to a safe horizon: a packet granted
+    a link at cycle ``t`` cannot request its *next* link before
+    ``t + flits + wire + stage >= t + min(flits) + min_hop_delta``, so
+    every event within that distance of the earliest pending one can be
+    resolved together without being overtaken by an event created in
+    the same epoch.  Within the window, events sort by ``(cycle, seq)``
+    -- the heap's pop order -- and each link's FIFO queue is granted
+    with one segmented max-plus scan:
+
+        start_k = max(ready_k, start_{k-1} + flits_{k-1})
+                = F_k + cummax_k(ready - F)      (F = exclusive flit sum)
+
+    New events inherit the heap's push order (``seq`` reassigned in pop
+    order, monotonically across epochs), which pins FIFO tie-breaking
+    bit-exactly to :func:`_simulate_contended`.  Returns the epoch
+    count.
+    """
+    ids = contended_ids
+    m = int(ids.size)
+    t = inject[ids].astype(np.int64)
+    hop = np.zeros(m, dtype=np.int64)
+    seq = np.arange(m, dtype=np.int64)
+    nhops = hops[ids].astype(np.int64)
+    pflits = flits[ids].astype(np.int64)
+    pstart = starts[ids].astype(np.int64)
+
+    route_links = tables.route_links
+    queue_index = tables.queue_index()
+    #: Static per-link arrays hoisted out of the loop: the forwarding
+    #: latency after serialisation, and the upstream router's stage
+    #: (charged once, on injection).
+    hop_delta = queue_index.hop_delta
+    inject_stage = tables.stage_cycles[tables.link_u]
+    link_free = np.zeros(tables.num_directed_links, dtype=np.int64)
+    lookahead = queue_index.min_hop_delta + int(pflits.min()) - 1
+
+    # Two-tier pending set: per-epoch scans touch only events within
+    # ``far_span`` cycles; events parked deeper in the future (long
+    # FIFO queues) wait in ``far`` and are merged back in O(pending)
+    # only once per ~16 epochs, when the clock catches up.
+    far_span = (lookahead + 1) * 16
+    huge = np.iinfo(np.int64).max
+    near = np.empty(0, dtype=np.int64)
+    far = np.arange(m, dtype=np.int64)
+    far_min = int(t.min()) if m else huge
+    near_limit = -1
+    counter = m
+    epochs = 0
+    while near.size or far.size:
+        if near.size:
+            t_act = t[near]
+            tmin = int(t_act.min())
+        else:
+            tmin = huge
+        if min(tmin, far_min) + lookahead >= near_limit:
+            merged = np.concatenate([near, far])
+            t_act = t[merged]
+            base = int(t_act.min())
+            near_limit = base + far_span
+            near_mask = t_act <= near_limit
+            near = merged[near_mask]
+            far = merged[~near_mask]
+            far_min = int(t[far].min()) if far.size else huge
+            t_act = t_act[near_mask]
+            tmin = base
+        epochs += 1
+        in_window = t_act <= tmin + lookahead
+        w = near[in_window]
+        # Oracle pop order within the window: (event cycle, push seq).
+        w = w[np.lexsort((seq[w], t[w]))]
+        # Next events inherit the heap's push order: seqs reassigned in
+        # window pop order, monotonically across epochs.  (Completions
+        # consume slots but push nothing; the gaps keep relative order.)
+        seq[w] = counter + np.arange(w.shape[0], dtype=np.int64)
+        counter += int(w.shape[0])
+        hop_w = hop[w]
+        done = hop_w >= nhops[w]
+        finished = w[done]
+        if finished.size:
+            gids = ids[finished]
+            completion[gids] = t[finished]
+            latencies[gids] = t[finished] - inject[gids]
+        movers = w[~done]
+        if movers.size:
+            hop_m = hop_w[~done]
+            edge = route_links[pstart[movers] + hop_m]
+            ready = t[movers] + np.where(
+                hop_m == 0, inject_stage[edge], 0
+            )
+            # Per-link FIFO queues: a stable sort by link keeps the
+            # (cycle, seq) order inside each link's queue segment.
+            order = np.argsort(edge, kind="stable")
+            sorted_movers = movers[order]
+            e_s = edge[order]
+            r_s = ready[order]
+            f_s = pflits[sorted_movers]
+            head = np.empty(e_s.shape[0], dtype=bool)
+            head[0] = True
+            head[1:] = e_s[1:] != e_s[:-1]
+            # The link's current occupancy folds into the head request.
+            r_s[head] = np.maximum(r_s[head], link_free[e_s[head]])
+            incl = np.cumsum(f_s)
+            seg_id = np.cumsum(head) - 1
+            head_idx = np.flatnonzero(head)[seg_id]
+            excl = (incl - f_s) - (incl[head_idx] - f_s[head_idx])
+            busy = excl + _segmented_cummax(r_s - excl, seg_id) + f_s
+            tail = np.empty(e_s.shape[0], dtype=bool)
+            tail[-1] = True
+            tail[:-1] = head[1:]
+            link_free[e_s[tail]] = busy[tail]
+            arrival = busy + hop_delta[e_s]
+            t[sorted_movers] = arrival
+            hop[movers] = hop_m + 1
+        near = near[~in_window]
+        if movers.size:
+            soon = arrival <= near_limit
+            near = np.concatenate([near, sorted_movers[soon]])
+            if not soon.all():
+                far = np.concatenate([far, sorted_movers[~soon]])
+                far_min = min(far_min, int(arrival[~soon].min()))
+    return epochs
+
+
 def simulate_transfers(
     topology: Topology,
     transfers: Sequence[Tuple[int, int, int]],
     *,
     packet_bytes: int = PACKET_BYTES,
     batch_uncontended: bool = True,
+    engine: str = "auto",
 ) -> SimReport:
     """Convenience wrapper: simulate ``(src, dst, bytes)`` transfers."""
-    messages = [
-        Message(src=s, dst=d, payload_bytes=b, message_id=i)
-        for i, (s, d, b) in enumerate(transfers)
-    ]
+    table = np.asarray(transfers, dtype=np.int64).reshape(-1, 3)
+    messages = np.column_stack([
+        table,
+        np.zeros(table.shape[0], dtype=np.int64),
+        np.arange(table.shape[0], dtype=np.int64),
+    ])
     return simulate(
         topology, messages,
         packet_bytes=packet_bytes,
         batch_uncontended=batch_uncontended,
+        engine=engine,
     )

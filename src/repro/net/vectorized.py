@@ -170,6 +170,36 @@ def unicast_step_cost_vec(
     )
 
 
+def _groups_to_arrays(
+    groups: Sequence[Tuple[int, Sequence[int], int]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten multicast groups into ``(src, payload, group-of-dst, dst)``.
+
+    ``src`` and ``payload`` are per-group; ``pg``/``pdst`` are the
+    flattened ``(group id, destination)`` pairs with self-destinations
+    and non-positive payloads already filtered, mirroring the scalar
+    model's ``d != src`` / ``payload <= 0`` skips.
+    """
+    num = len(groups)
+    src = np.empty(num, dtype=np.int64)
+    payload = np.empty(num, dtype=np.int64)
+    counts = np.empty(num, dtype=np.int64)
+    dst_parts = []
+    for g, (g_src, g_dsts, g_payload) in enumerate(groups):
+        src[g] = g_src
+        payload[g] = g_payload
+        part = np.asarray(g_dsts, dtype=np.int64)
+        counts[g] = part.shape[0]
+        dst_parts.append(part)
+    pdst = (
+        np.concatenate(dst_parts) if dst_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    pg = np.repeat(np.arange(num, dtype=np.int64), counts)
+    keep = (pdst != src[pg]) & (payload[pg] > 0)
+    return src, payload, pg[keep], pdst[keep]
+
+
 def multicast_step_cost_vec(
     topology: Topology,
     groups: Sequence[Tuple[int, Sequence[int], int]],
@@ -177,10 +207,98 @@ def multicast_step_cost_vec(
     """Batched :func:`repro.net.analytic.multicast_step_cost`.
 
     On unicast NoIs the whole step collapses into one batched unicast
-    evaluation.  On multicast-capable NoIs each group's tree is the
-    deduplicated union of its destination routes -- a single
-    ``np.unique`` over the CSR link slices -- and the per-group sums are
-    NumPy reductions.
+    evaluation.  On multicast-capable NoIs the trees of *all* groups
+    are built in one pass: every (group, destination) route's links are
+    gathered together, deduplicated per group with a single
+    ``np.unique`` over combined ``group * L + link`` keys, and all
+    per-group sums fall out of segment reductions -- no per-group
+    Python iteration.  :func:`multicast_step_cost_pergroup` keeps the
+    per-group construction as the pinned reference.
+    """
+    if not topology.multicast_capable:
+        src, payload, pg, pdst = _groups_to_arrays(groups)
+        return unicast_step_cost_vec(
+            topology,
+            np.stack([src[pg], pdst, payload[pg]], axis=1),
+        )
+
+    t = topology.routing_tables()
+    params = topology.params
+    src, payload, pg, pdst = _groups_to_arrays(groups)
+    if pg.shape[0] == 0:
+        return _EMPTY_REPORT
+    t.check_reachable(src[pg], pdst, topology.name)
+    num_groups = src.shape[0]
+    num_links = t.num_directed_links
+
+    # All groups' trees in one pass: dedupe (group, link) pairs over
+    # the concatenated route slices of every (group, dst).
+    pair = src[pg] * t.num_nodes + pdst
+    counts = t.route_indptr[pair + 1] - t.route_indptr[pair]
+    entries = t.route_links[concat_ranges(t.route_indptr[pair], counts)]
+    key = np.repeat(pg, counts) * num_links + entries
+    key = np.unique(key)
+    tree_group = key // num_links
+    tree_link = key % num_links
+
+    flits = _flits(payload, params.flit_bytes)
+    active = np.zeros(num_groups, dtype=bool)
+    active[pg] = True
+
+    link_load = np.zeros(num_links, dtype=np.int64)
+    np.add.at(link_load, tree_link, flits[tree_group])
+
+    # Per-group segment reductions over the deduplicated tree entries.
+    tree_link_energy = np.bincount(
+        tree_group,
+        weights=t.link_energy_pj_per_flit[tree_link],
+        minlength=num_groups,
+    )
+    tree_router_energy = np.bincount(
+        tree_group,
+        weights=t.router_energy_pj_per_flit[t.link_v[tree_link]],
+        minlength=num_groups,
+    )
+    deepest = np.zeros(num_groups, dtype=np.int64)
+    np.maximum.at(deepest, pg, t.pipeline_cycles[src[pg], pdst])
+
+    group_energy = flits * (
+        t.router_energy_pj_per_flit[src]
+        + tree_router_energy
+        + tree_link_energy
+    )
+    packets = _packets(payload, params.packet_bytes)
+    hop_weight = float(
+        (t.hops[src[pg], pdst] * payload[pg]).sum()
+    )
+    volume_total = int(payload[pg].sum())
+    max_load = int(link_load.max()) if link_load.size else 0
+    return CommReport(
+        latency_cycles=max_load + int(deepest.max()),
+        serial_latency_cycles=int((deepest + flits)[active].sum()),
+        energy_pj=float(group_energy[active].sum()),
+        total_flits=int(flits[active].sum()),
+        weighted_hops=(
+            hop_weight / volume_total if volume_total else 0.0
+        ),
+        packet_count=int(packets[active].sum()),
+        packet_latency_sum=int(
+            (packets * (deepest + params.flits_per_packet))[active].sum()
+        ),
+    )
+
+
+def multicast_step_cost_pergroup(
+    topology: Topology,
+    groups: Sequence[Tuple[int, Sequence[int], int]],
+) -> CommReport:
+    """Per-group reference for :func:`multicast_step_cost_vec`.
+
+    Builds each group's tree with its own ``np.unique`` -- the original
+    vectorized implementation, kept as the pinned mid-level oracle
+    between the scalar :func:`repro.net.analytic.multicast_step_cost`
+    and the cross-group batched path
+    (``tests/test_vectorized.py::TestMulticastBatching``).
     """
     if not topology.multicast_capable:
         transfers = [

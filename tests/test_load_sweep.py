@@ -1,0 +1,170 @@
+"""Load-sweep experiment layer: spec parsing, traffic, evaluator, store.
+
+Satellite coverage for the injection-rate experiment family: workload
+strings round-trip through :func:`parse_load_workload`, the Bernoulli
+traffic generator is deterministic and pattern-correct, the
+``evaluate_load_sweep_case`` evaluator reports sound steady-state
+metrics, and the whole family rides ``SweepRunner`` + ``ResultStore``
+(cached, resumable) like every other figure bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import ResultStore, SweepRunner, sweep_grid
+from repro.eval.experiments import (
+    LOAD_SWEEP_MEASURE_CYCLES,
+    LOAD_SWEEP_WARMUP_CYCLES,
+    LoadSweepSpec,
+    evaluate_load_sweep_case,
+    evaluate_sim_crosscheck_case,
+    load_sweep_traffic,
+    parse_load_workload,
+)
+from repro.eval.sweeps import SweepCase
+
+
+class TestParseLoadWorkload:
+    def test_defaults(self):
+        spec = parse_load_workload("uniform@0.05")
+        assert spec == LoadSweepSpec(
+            pattern="uniform",
+            injection_rate=0.05,
+            warmup_cycles=LOAD_SWEEP_WARMUP_CYCLES,
+            measure_cycles=LOAD_SWEEP_MEASURE_CYCLES,
+        )
+
+    def test_window_suffix(self):
+        spec = parse_load_workload("hotspot@0.1:w512+2048")
+        assert spec.warmup_cycles == 512
+        assert spec.measure_cycles == 2048
+        assert spec.window_cycles == 2560
+
+    def test_roundtrip_through_workload_property(self):
+        for text in ("uniform@0.05", "transpose@0.125:w64+256"):
+            spec = parse_load_workload(text)
+            assert parse_load_workload(spec.workload) == spec
+
+    @pytest.mark.parametrize("bad", [
+        "uniform", "uniform@", "@0.05", "uniform@x",
+        "uniform@0", "uniform@1.5", "uniform@-0.1",
+        "uniform@0.05:w64", "uniform@0.05:64+128",
+        "uniform@0.05:wx+128", "uniform@0.05:w64+0",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_load_workload(bad)
+
+
+class TestLoadSweepTraffic:
+    SPEC = LoadSweepSpec("uniform", 0.1, warmup_cycles=32,
+                         measure_cycles=96)
+
+    def test_deterministic(self):
+        a = load_sweep_traffic(self.SPEC, 16, seed=3)
+        b = load_sweep_traffic(self.SPEC, 16, seed=3)
+        assert np.array_equal(a, b)
+        c = load_sweep_traffic(self.SPEC, 16, seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_table_shape_and_bounds(self):
+        table = load_sweep_traffic(self.SPEC, 16, seed=0)
+        assert table.shape[1] == 5
+        src, dst, payload, inject, mids = table.T
+        assert src.min() >= 0 and src.max() < 16
+        assert dst.min() >= 0 and dst.max() < 16
+        assert np.all(payload == 64)
+        assert inject.min() >= 0
+        assert inject.max() < self.SPEC.window_cycles
+        assert np.array_equal(mids, np.arange(table.shape[0]))
+
+    def test_injection_rate_is_approximately_offered(self):
+        spec = LoadSweepSpec("uniform", 0.1, warmup_cycles=256,
+                             measure_cycles=1024)
+        table = load_sweep_traffic(spec, 32, seed=0)
+        offered = table.shape[0] / (32 * spec.window_cycles)
+        assert offered == pytest.approx(0.1, rel=0.1)
+
+    def test_patterns(self):
+        n = 16
+        for pattern, check in (
+            ("neighbor", lambda s, d: np.all(d == (s + 1) % n)),
+            ("transpose", lambda s, d: np.all(d == n - 1 - s)),
+        ):
+            spec = LoadSweepSpec(pattern, 0.1, 16, 48)
+            table = load_sweep_traffic(spec, n, seed=1)
+            assert check(table[:, 0], table[:, 1]), pattern
+        hot = load_sweep_traffic(LoadSweepSpec("hotspot", 0.2, 16, 48),
+                                 n, seed=1)
+        counts = np.bincount(hot[:, 1], minlength=n)
+        assert counts.max() >= 0.3 * hot.shape[0]
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            load_sweep_traffic(LoadSweepSpec("mystery", 0.1), 16, 0)
+
+
+class TestEvaluateLoadSweepCase:
+    CASE = SweepCase(arch="siam", num_chiplets=16,
+                     workload="uniform@0.08:w64+192", seed=2)
+
+    def test_metrics_are_sound(self):
+        m = evaluate_load_sweep_case(self.CASE)
+        assert m["injected_packets"] > 0
+        assert 0 < m["steady_packets"] <= m["injected_packets"]
+        assert m["offered_rate"] == pytest.approx(0.08, rel=0.25)
+        assert m["steady_mean_latency"] > 0
+        assert m["steady_max_latency"] >= m["steady_mean_latency"]
+        assert m["makespan_cycles"] >= 256  # window at minimum
+        assert 0 <= m["contended_fraction"] <= 1
+        # Below saturation, accepted throughput tracks the offered rate.
+        assert m["steady_throughput"] == pytest.approx(
+            m["offered_rate"], rel=0.35
+        )
+
+    def test_latency_rises_with_load(self):
+        low = evaluate_load_sweep_case(
+            SweepCase(arch="siam", num_chiplets=16,
+                      workload="uniform@0.02:w64+192", seed=2)
+        )
+        high = evaluate_load_sweep_case(
+            SweepCase(arch="siam", num_chiplets=16,
+                      workload="uniform@0.3:w64+192", seed=2)
+        )
+        assert high["steady_mean_latency"] > low["steady_mean_latency"]
+        assert high["drain_cycles"] > low["drain_cycles"]
+
+    def test_rides_sweep_runner_with_store(self, tmp_path):
+        cases = sweep_grid(
+            archs=("siam", "kite"), sizes=(16,),
+            workloads=("uniform@0.05:w32+96", "uniform@0.1:w32+96"),
+            seeds=(0,),
+        )
+        cold = SweepRunner(evaluate_load_sweep_case, workers=1,
+                           store=ResultStore(tmp_path)).run(cases)
+        assert not cold.failures
+        assert cold.store_hits == 0
+        warm = SweepRunner(evaluate_load_sweep_case, workers=1,
+                           store=ResultStore(tmp_path)).run(cases)
+        assert not warm.failures
+        assert warm.store_hits == len(cases)
+        assert warm.evaluated == 0
+        for a, b in zip(cold.results, warm.results):
+            assert a.metrics == b.metrics
+        # Injection rate lives in the workload axis, so distinct rates
+        # hash to distinct store keys.
+        assert len(set(
+            SweepRunner(evaluate_load_sweep_case).case_keys(cases)
+        )) == len(cases)
+
+
+class TestSimCrosscheckCase:
+    def test_analytic_is_sound_lower_bound(self):
+        m = evaluate_sim_crosscheck_case(
+            SweepCase(arch="siam", num_chiplets=16, workload="chain")
+        )
+        assert m["packets_delivered"] > 0
+        assert m["sim_total_cycles"] >= 0.9 * m["analytic_total_cycles"]
+        assert m["sim_total_cycles"] <= 2.0 * m["analytic_total_cycles"]

@@ -18,6 +18,7 @@ from repro.net.analytic import (
 )
 from repro.net.vectorized import (
     communication_cost_vec,
+    multicast_step_cost_pergroup,
     multicast_step_cost_vec,
     traffic_matrix_cost,
     traffic_matrix_to_transfers,
@@ -176,4 +177,56 @@ class TestStepCost:
         assert_reports_equal(
             multicast_step_cost(small_kite, []),
             multicast_step_cost_vec(small_kite, []),
+        )
+
+
+class TestMulticastBatching:
+    """Cross-group batched trees vs the pinned per-group construction."""
+
+    @pytest.mark.parametrize("fixture", TOPOLOGY_FIXTURES)
+    @pytest.mark.parametrize("seed", [6, 7, 8])
+    def test_batched_matches_pergroup(self, fixture, seed, request):
+        topo = _topology(request, fixture)
+        rng = np.random.default_rng(seed)
+        groups = _random_groups(topo.num_chiplets, rng, count=80)
+        assert_reports_equal(
+            multicast_step_cost_pergroup(topo, groups),
+            multicast_step_cost_vec(topo, groups),
+        )
+
+    def test_overlapping_trees_share_link_load(self, small_floret):
+        # Two groups from the same source over the same chain prefix:
+        # the shared links must accumulate both groups' flits in both
+        # constructions (and in the scalar oracle).
+        topo = small_floret.topology
+        groups = [(0, (1, 2, 3), 640), (0, (2, 3, 4), 320),
+                  (5, (6, 7), 128)]
+        scalar = multicast_step_cost(topo, groups)
+        assert_reports_equal(
+            scalar, multicast_step_cost_pergroup(topo, groups)
+        )
+        assert_reports_equal(scalar, multicast_step_cost_vec(topo, groups))
+
+    def test_degenerate_groups_only(self, small_floret):
+        topo = small_floret.topology
+        groups = [(3, (3,), 512), (4, (5, 6), 0), (7, (), 64)]
+        assert_reports_equal(
+            multicast_step_cost(topo, groups),
+            multicast_step_cost_vec(topo, groups),
+        )
+        assert multicast_step_cost_vec(topo, groups).total_flits == 0
+
+    def test_empty_groups_list(self, small_floret):
+        topo = small_floret.topology
+        assert_reports_equal(
+            multicast_step_cost_pergroup(topo, []),
+            multicast_step_cost_vec(topo, []),
+        )
+
+    def test_unicast_degeneration_matches(self, small_mesh):
+        rng = np.random.default_rng(9)
+        groups = _random_groups(small_mesh.num_chiplets, rng, count=40)
+        assert_reports_equal(
+            multicast_step_cost_pergroup(small_mesh, groups),
+            multicast_step_cost_vec(small_mesh, groups),
         )
