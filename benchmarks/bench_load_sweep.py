@@ -19,20 +19,31 @@ Two acceptance gates for the epoch-synchronous contention engine:
 ``REPRO_SWEEP_QUICK=1`` shrinks both grids and relaxes the ratio gate
 to 2x (small grids amortise less of the vectorized engine's fixed
 per-epoch cost).
+
+Every run also appends its measured speedup ratio to
+``ratio-history.jsonl`` inside ``REPRO_STORE_DIR`` (uploaded with the
+sweep-results artifact) and *warns* -- never fails -- when the ratio
+drifts more than 20% below the trailing median: the hard floor catches
+cliffs, the history watch catches slow drift.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
+from pathlib import Path
 
 from _bench_utils import quick_mode, run_once
 
 from repro.eval import (
     ResultStore,
     SweepRunner,
+    append_ratio_history,
     evaluate_load_sweep_case,
     format_table,
+    load_ratio_history,
+    ratio_drift_warning,
     sweep_grid,
 )
 from repro.eval.experiments import load_sweep_traffic, parse_load_workload
@@ -160,6 +171,28 @@ def test_load_sweep(benchmark):
 
     speedup = events_s / max(epochs_s, 1e-12)
     floor = 2.0 if quick_mode() else 5.0
+
+    store_dir = os.environ.get("REPRO_STORE_DIR")
+    if store_dir:
+        history_path = Path(store_dir) / "ratio-history.jsonl"
+        prior = [
+            rec for rec in load_ratio_history(history_path)
+            if rec.get("bench") == "load_sweep"
+            and rec.get("quick") == quick_mode()
+        ]
+        drift = ratio_drift_warning(prior, speedup, tolerance=0.2)
+        if drift is not None:
+            warnings.warn(f"engine-speedup drift watch: {drift}",
+                          RuntimeWarning)
+            print(f"WARNING: {drift}")
+        append_ratio_history(history_path, {
+            "bench": "load_sweep",
+            "quick": quick_mode(),
+            "speedup": round(speedup, 4),
+            "cases": len(gate_rows),
+            "unix_time": round(time.time(), 3),
+        })
+
     assert speedup >= floor, (
         f"epoch engine only {speedup:.1f}x faster than the event heap "
         f"(floor {floor}x) over {len(gate_rows)} majority-contended cases"

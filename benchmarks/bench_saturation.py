@@ -1,0 +1,133 @@
+"""Saturation bench: closed-loop accepted throughput vs offered load.
+
+The flow-control acceptance gate: with finite buffers, credit
+backpressure and per-source injection queues (``fc_*`` overrides on
+``NoIParams``), accepted throughput must *plateau* past the saturation
+knee instead of diverging -- the behaviour that actually differentiates
+the NoI topologies under congestion, which the open-loop model cannot
+show.  Per architecture the bench asserts:
+
+1. below the knee, accepted throughput tracks offered load;
+2. past the knee it plateaus (no collapse, and it cannot diverge);
+3. at least two architectures saturate strictly inside the swept range,
+   so the knee is informative, not censored.
+
+The ramp evaluator (``evaluate_saturation_case``) rides ``SweepRunner``
+with a ``ResultStore`` (``REPRO_STORE_DIR``), so saturation sweeps
+cache, resume and upload with the sweep-results artifact like every
+other figure bench.  ``REPRO_SWEEP_QUICK=1`` shrinks the system and the
+windows.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import quick_mode, run_once
+
+from repro.eval import (
+    ResultStore,
+    SweepRunner,
+    evaluate_saturation_case,
+    format_table,
+    sweep_grid,
+)
+from repro.viz import render_saturation_curves
+
+ARCHS = ("floret", "siam", "kite", "swap")
+
+#: Flow-control knobs, as ``NoIParams`` overrides so they participate
+#: in the store keys.  Buffers are sized to saturate without credit
+#: deadlock on the ring-bearing topologies (Kite/SWAP/Floret) across
+#: the swept overload range.
+FC_OVERRIDES = (
+    ("fc_buffer_flits", 32),
+    ("fc_credit_rtt", 2),
+    ("fc_source_queue", 4),
+)
+FC_OVERRIDES_QUICK = (
+    ("fc_buffer_flits", 24),
+    ("fc_credit_rtt", 2),
+    ("fc_source_queue", 4),
+)
+
+WORKLOAD = "uniform@0.02-0.26/7:w64+256"
+WORKLOAD_QUICK = "uniform@0.03-0.3/5:w48+160"
+
+
+def _cases():
+    if quick_mode():
+        return sweep_grid(archs=ARCHS, sizes=(36,),
+                          workloads=(WORKLOAD_QUICK,),
+                          overrides=(FC_OVERRIDES_QUICK,))
+    return sweep_grid(archs=ARCHS, sizes=(64,), workloads=(WORKLOAD,),
+                      overrides=(FC_OVERRIDES,))
+
+
+def _run():
+    store_dir = os.environ.get("REPRO_STORE_DIR")
+    store = ResultStore(store_dir) if store_dir else None
+    runner = SweepRunner(evaluate_saturation_case, workers=4, store=store)
+    outcome = runner.run(_cases())
+    assert not outcome.failures, outcome.failures
+    return outcome
+
+
+def test_saturation(benchmark):
+    outcome = run_once(benchmark, _run)
+
+    rows = []
+    curves = {}
+    offered = None
+    for result in outcome.ok:
+        m = result.metrics
+        arrays = result.arrays
+        rows.append((
+            result.case.arch,
+            m["knee_rate"],
+            m["saturation_throughput"],
+            m["accepted_at_peak"],
+            m["peak_steady_latency"],
+            m["peak_link_utilization"],
+            m["total_credit_stall_cycles"],
+        ))
+        offered = arrays["offered_rates"]
+        curves[result.case.arch] = arrays["accepted_throughput"]
+    print()
+    print(format_table(
+        ["arch", "knee rate", "sat thr", "acc@peak", "peak lat",
+         "peak util", "credit stalls"],
+        rows,
+        title="Closed-loop saturation (finite buffers + backpressure, "
+              "pkt/node/cycle)",
+        float_format="{:.4g}",
+    ))
+    print()
+    print(render_saturation_curves(offered, curves))
+
+    saturated_inside = 0
+    for result in outcome.ok:
+        arch = result.case.arch
+        m = result.metrics
+        arrays = result.arrays
+        acc = arrays["accepted_throughput"]
+        off = arrays["offered_rates"]
+        assert acc[0] >= 0.8 * off[0], (
+            f"{arch}: accepted {acc[0]:.4f} does not track offered "
+            f"{off[0]:.4f} below the knee"
+        )
+        assert acc[-1] >= 0.75 * acc.max(), (
+            f"{arch}: accepted throughput collapsed past the knee "
+            f"({acc[-1]:.4f} vs peak {acc.max():.4f})"
+        )
+        assert acc.max() <= 1.05 * off.max(), (
+            f"{arch}: accepted throughput {acc.max():.4f} exceeds "
+            f"offered {off.max():.4f} -- accounting bug"
+        )
+        if m["knee_rate"] <= 0.8 * m["peak_offered"]:
+            saturated_inside += 1
+    assert saturated_inside >= 2, (
+        f"only {saturated_inside} architectures saturated inside the "
+        f"swept range; widen the ramp so the knee differentiates "
+        f"topologies"
+    )

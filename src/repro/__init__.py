@@ -51,7 +51,9 @@ from .params import (
 
 # Participates in every ResultStore key: bump on model-code changes
 # below the evaluator layer so stale cached results self-invalidate.
-__version__ = "1.1.0"
+# 1.2.0: closed-loop flow control (finite buffers / backpressure) in the
+# packet simulator -- pre-flow-control cached sweep results are stale.
+__version__ = "1.2.0"
 
 __all__ = [
     "ContiguousMapper",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import product
 from typing import (
     Callable,
@@ -335,7 +335,7 @@ def dse_search(
     store_hits = 0
     failures = 0
 
-    def evaluate_batch(genomes: Sequence[Genome]) -> None:
+    def evaluate_batch(genomes: Sequence[Genome], generation: int) -> None:
         nonlocal evaluations, store_hits, failures
         fresh = [
             g for g in dict.fromkeys(genomes)
@@ -343,7 +343,14 @@ def dse_search(
         ]
         if not fresh:
             return
-        cases = [space.case(g) for g in fresh]
+        # The generation index rides the case tag ("dse@g3").  Tags are
+        # excluded from store keys, so relabelling costs nothing, and
+        # the store becomes a per-generation archive that
+        # ``repro.viz.render_pareto_fronts`` can replay.
+        cases = [
+            replace(space.case(g), tag=f"{space.tag}@g{generation}")
+            for g in fresh
+        ]
         for genome, result in zip(fresh, runner.stream(cases)):
             if not result.ok:
                 failures += 1
@@ -371,7 +378,7 @@ def dse_search(
         population = list(all_genomes)
     else:
         population = rng.sample(all_genomes, population_size)
-    evaluate_batch(population)
+    evaluate_batch(population, 0)
 
     for _generation in range(generations):
         parents = [g for g in population if g in archive]
@@ -403,7 +410,7 @@ def dse_search(
             if rng.random() < mutation_rate:
                 child = space.mutate(child, rng)
             offspring.append(child)
-        evaluate_batch(offspring)
+        evaluate_batch(offspring, _generation + 1)
         population = offspring
 
     points = list(archive.values())

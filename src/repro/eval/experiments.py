@@ -541,6 +541,34 @@ class LoadSweepSpec:
         )
 
 
+def _parse_window_suffix(
+    workload: str, window: str, family: str = "load workload"
+) -> Tuple[int, int]:
+    """Parse a ``wWARMUP+MEASURE`` window suffix, shared by both
+    workload-string families (load sweeps and saturation ramps --
+    ``family`` labels the error messages accordingly).
+
+    ``isdigit`` deliberately rejects signs, so a negative warm-up
+    (``w-5+128``) fails the format check with the same clear message as
+    any other malformed window.
+    """
+    head, sep, tail = window.partition("+")
+    if not (head.startswith("w") and sep and head[1:].isdigit()
+            and tail.isdigit()):
+        raise ValueError(
+            f"{family} {workload!r}: bad window {window!r} "
+            "(expected wWARMUP+MEASURE with non-negative integer "
+            "warm-up and measure cycles)"
+        )
+    warmup, measure = int(head[1:]), int(tail)
+    if measure <= 0:
+        raise ValueError(
+            f"{family} {workload!r}: measurement window must "
+            "be positive"
+        )
+    return warmup, measure
+
+
 def parse_load_workload(workload: str) -> LoadSweepSpec:
     """Parse a load-sweep workload string into a :class:`LoadSweepSpec`.
 
@@ -571,19 +599,7 @@ def parse_load_workload(workload: str) -> LoadSweepSpec:
     warmup = LOAD_SWEEP_WARMUP_CYCLES
     measure = LOAD_SWEEP_MEASURE_CYCLES
     if window:
-        head, sep, tail = window.partition("+")
-        if not (head.startswith("w") and sep and head[1:].isdigit()
-                and tail.isdigit()):
-            raise ValueError(
-                f"load workload {workload!r}: bad window {window!r} "
-                "(expected wWARMUP+MEASURE)"
-            )
-        warmup, measure = int(head[1:]), int(tail)
-        if measure <= 0:
-            raise ValueError(
-                f"load workload {workload!r}: measurement window must "
-                "be positive"
-            )
+        warmup, measure = _parse_window_suffix(workload, window)
     return LoadSweepSpec(
         pattern=pattern,
         injection_rate=rate,
@@ -642,7 +658,9 @@ def evaluate_load_sweep_case(case) -> Dict[str, float]:
     Runs the packet simulator (``engine="auto"``: the epoch-synchronous
     engine for any real load) and reports steady-state latency and
     throughput -- warm-up packets fill the network but are excluded
-    from the steady metrics.
+    from the steady metrics.  Flow-control knobs set through the case's
+    ``noi_overrides`` (``fc_buffer_flits``, ``fc_source_queue``,
+    ``fc_credit_rtt``) turn the same sweep closed-loop.
     """
     from ..net.simulator import simulate_packets
     from .sweeps import case_topology
@@ -692,6 +710,199 @@ def evaluate_load_sweep_case(case) -> Dict[str, float]:
         ),
     )
     return metrics
+
+
+# ---------------------------------------------------------------------------
+# saturation-throughput ramps (closed-loop flow control)
+
+
+@dataclass(frozen=True)
+class SaturationSpec:
+    """One saturation scenario: an injection-rate ramp on one pattern.
+
+    The workload-string form is ``pattern@MIN-MAX/STEPS`` with the same
+    optional ``:wWARMUP+MEASURE`` suffix as load sweeps, e.g.
+    ``"uniform@0.02-0.3/8:w64+256"``.  Flow-control knobs ride the
+    ``NoIParams`` fields (``fc_buffer_flits`` & co.) via the sweep
+    case's ``noi_overrides``, so closed-loop and open-loop ramps hash
+    to distinct store keys automatically.
+    """
+
+    pattern: str
+    min_rate: float
+    max_rate: float
+    steps: int
+    warmup_cycles: int = LOAD_SWEEP_WARMUP_CYCLES
+    measure_cycles: int = LOAD_SWEEP_MEASURE_CYCLES
+
+    def rates(self) -> np.ndarray:
+        """The offered injection-rate grid, ascending."""
+        return np.linspace(self.min_rate, self.max_rate, self.steps)
+
+    def load_spec(self, rate: float) -> LoadSweepSpec:
+        """The single-rate :class:`LoadSweepSpec` of one ramp point."""
+        return LoadSweepSpec(
+            pattern=self.pattern,
+            injection_rate=float(rate),
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+        )
+
+    @property
+    def workload(self) -> str:
+        """The :class:`~repro.eval.sweeps.SweepCase` workload string."""
+        return (
+            f"{self.pattern}@{self.min_rate:g}-{self.max_rate:g}"
+            f"/{self.steps}:w{self.warmup_cycles}+{self.measure_cycles}"
+        )
+
+
+def parse_saturation_workload(workload: str) -> SaturationSpec:
+    """Parse a ``pattern@MIN-MAX/STEPS[:wWARMUP+MEASURE]`` ramp string."""
+    spec, _, window = workload.partition(":")
+    pattern, sep, ramp = spec.partition("@")
+    span, slash, steps_text = ramp.partition("/")
+    lo_text, dash, hi_text = span.partition("-")
+    if not (sep and pattern and slash and dash and lo_text and hi_text):
+        raise ValueError(
+            f"saturation workload {workload!r} is not "
+            "'pattern@MIN-MAX/STEPS[:wWARMUP+MEASURE]'"
+        )
+    try:
+        lo, hi = float(lo_text), float(hi_text)
+    except ValueError:
+        raise ValueError(
+            f"saturation workload {workload!r}: bad rate span "
+            f"{span!r}"
+        ) from None
+    if not steps_text.isdigit() or int(steps_text) < 2:
+        raise ValueError(
+            f"saturation workload {workload!r}: STEPS must be an "
+            f"integer >= 2, got {steps_text!r}"
+        )
+    if not 0.0 < lo < hi <= 1.0:
+        raise ValueError(
+            f"saturation workload {workload!r}: rates must satisfy "
+            f"0 < MIN < MAX <= 1, got {lo}..{hi}"
+        )
+    warmup = LOAD_SWEEP_WARMUP_CYCLES
+    measure = LOAD_SWEEP_MEASURE_CYCLES
+    if window:
+        warmup, measure = _parse_window_suffix(
+            workload, window, family="saturation workload"
+        )
+    return SaturationSpec(
+        pattern=pattern,
+        min_rate=lo,
+        max_rate=hi,
+        steps=int(steps_text),
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+    )
+
+
+def saturation_knee(
+    offered: np.ndarray,
+    accepted: np.ndarray,
+    *,
+    tolerance: float = 0.1,
+) -> Tuple[float, float]:
+    """Locate the saturation knee of an accepted-throughput curve.
+
+    Returns ``(knee_rate, saturation_throughput)``: the smallest
+    offered rate at which accepted throughput falls more than
+    ``tolerance`` below offered (the network stops keeping up), and the
+    peak accepted throughput over the ramp.  When the ramp never
+    saturates, the knee is the last offered rate.
+    """
+    offered = np.asarray(offered, dtype=np.float64)
+    accepted = np.asarray(accepted, dtype=np.float64)
+    if offered.shape != accepted.shape or offered.size == 0:
+        raise ValueError("offered/accepted must be equal-length, non-empty")
+    saturated = accepted < (1.0 - tolerance) * offered
+    knee_index = (
+        int(np.argmax(saturated)) if saturated.any()
+        else int(offered.size - 1)
+    )
+    return float(offered[knee_index]), float(accepted.max())
+
+
+def evaluate_saturation_case(case) -> Dict[str, object]:
+    """Saturation-ramp metrics for one (arch, size, ramp) case.
+
+    Runs the packet simulator once per ramp point with telemetry on and
+    the case's flow-control knobs (``fc_*`` fields through
+    ``noi_overrides``) applied, then locates the knee where accepted
+    throughput stops tracking offered load.  Scalar metrics summarise
+    the knee; per-rate curves (offered/accepted/latency/utilisation)
+    ride the array channel into the store's ``.npz`` payloads, which is
+    what ``benchmarks/bench_saturation.py`` plots.
+    """
+    from ..net.simulator import simulate_packets
+    from .sweeps import case_topology
+
+    spec = parse_saturation_workload(case.workload)
+    topo = case_topology(case)
+    n = case.num_chiplets
+    offered = []
+    accepted = []
+    latency = []
+    util_mean = []
+    util_max = []
+    credit_stalls = []
+    for rate in spec.rates():
+        load = spec.load_spec(rate)
+        table = load_sweep_traffic(load, n, case.seed)
+        sim = simulate_packets(topo, table, engine="auto", telemetry=True)
+        window = load.window_cycles
+        offered.append(sim.packets / (n * window) if window else 0.0)
+        if sim.packets == 0:
+            accepted.append(0.0)
+            latency.append(0.0)
+            util_mean.append(0.0)
+            util_max.append(0.0)
+            credit_stalls.append(0.0)
+            continue
+        # Accepted throughput: deliveries inside the measurement window
+        # per node-cycle.  Tracks offered load below the knee and
+        # plateaus at network capacity past it (the closed loop never
+        # drops packets; the excess just completes after the window).
+        window_end = load.warmup_cycles + load.measure_cycles
+        in_window = (
+            (sim.completion >= load.warmup_cycles)
+            & (sim.completion < window_end)
+        )
+        accepted.append(
+            float(in_window.sum()) / (n * load.measure_cycles)
+        )
+        steady = sim.inject >= load.warmup_cycles
+        steady_count = int(steady.sum())
+        latency.append(
+            float(sim.latency[steady].mean()) if steady_count else 0.0
+        )
+        utilization = sim.telemetry.utilization()
+        util_mean.append(float(utilization.mean()))
+        util_max.append(float(utilization.max()))
+        credit_stalls.append(
+            float(sim.telemetry.credit_stall_cycles.sum())
+        )
+    offered_arr = np.array(offered)
+    accepted_arr = np.array(accepted)
+    knee_rate, sat_throughput = saturation_knee(offered_arr, accepted_arr)
+    return {
+        "knee_rate": knee_rate,
+        "saturation_throughput": sat_throughput,
+        "peak_offered": float(offered_arr[-1]),
+        "accepted_at_peak": float(accepted_arr[-1]),
+        "peak_steady_latency": float(np.max(latency)),
+        "peak_link_utilization": float(np.max(util_max)),
+        "total_credit_stall_cycles": float(np.sum(credit_stalls)),
+        "offered_rates": offered_arr,
+        "accepted_throughput": accepted_arr,
+        "steady_mean_latency": np.array(latency),
+        "link_utilization_mean": np.array(util_mean),
+        "link_utilization_max": np.array(util_max),
+    }
 
 
 def evaluate_sim_crosscheck_case(case) -> Dict[str, float]:

@@ -1,12 +1,21 @@
-"""Plain-text table rendering for experiment outputs.
+"""Plain-text table rendering and perf-ratio history for benchmarks.
 
 Every benchmark prints its table/figure through these helpers so the
-regenerated rows read like the paper's tables.
+regenerated rows read like the paper's tables.  The ratio-history
+helpers back the CI drift watch: each run of an engine-speedup gate
+appends its measured ratios to a JSONL file inside the sweep-results
+artifact, and a run warns (never fails) when its ratio drifts more
+than a tolerance below the trailing median -- slow regressions that a
+single-run threshold would miss.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import json
+import os
+from pathlib import Path
+from statistics import median
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 
 def format_table(
@@ -48,6 +57,79 @@ def format_table(
     parts.append(line(["-" * w for w in widths]))
     parts.extend(line(row) for row in str_rows)
     return "\n".join(parts)
+
+
+def load_ratio_history(path) -> List[dict]:
+    """All records of a ratio-history JSONL file, oldest first.
+
+    Tolerant of a torn tail line (a crashed writer): unparseable lines
+    are skipped, mirroring the result store's reader semantics.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def append_ratio_history(path, record: Mapping) -> None:
+    """Append one record to a ratio-history JSONL file.
+
+    One ``O_APPEND`` write of a complete line, so concurrent benchmark
+    runs sharing a store directory cannot interleave partial records.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = (json.dumps(dict(record), separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+def ratio_drift_warning(
+    history: Sequence[Mapping],
+    current: float,
+    *,
+    key: str = "speedup",
+    window: int = 20,
+    tolerance: float = 0.2,
+    min_history: int = 3,
+) -> Optional[str]:
+    """Drift-watch verdict for one new ratio measurement.
+
+    Compares ``current`` against the median of the last ``window``
+    prior values of ``key`` in ``history`` and returns a warning
+    message when it falls more than ``tolerance`` below that median --
+    ``None`` otherwise, or when fewer than ``min_history`` prior values
+    exist (a short history has no meaningful trend).
+    """
+    values = [
+        float(rec[key]) for rec in history[-window:]
+        if isinstance(rec, Mapping) and key in rec
+    ]
+    if len(values) < min_history:
+        return None
+    trailing = median(values)
+    if current >= (1.0 - tolerance) * trailing:
+        return None
+    return (
+        f"{key} ratio {current:.2f}x drifted more than "
+        f"{tolerance:.0%} below the trailing median {trailing:.2f}x "
+        f"over the last {len(values)} runs"
+    )
 
 
 def format_ratio_series(

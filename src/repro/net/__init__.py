@@ -7,7 +7,11 @@ Three evaluation layers share one routing substrate:
   precomputed :mod:`repro.net.routing` tables -- the hot path,
 * the packet simulator (:mod:`repro.net.simulator`) with its own
   engine split: closed-form fast path, event-heap oracle and the
-  epoch-synchronous vectorized contention engine.
+  epoch-synchronous vectorized contention engine, plus the closed-loop
+  flow-control subsystem (:mod:`repro.net.flowcontrol`): finite
+  per-link buffers with credit backpressure, per-source injection
+  queues and per-link telemetry, again as a heap-oracle/epoch-engine
+  pair pinned bit-exactly to each other.
 """
 
 from .analytic import (
@@ -19,6 +23,13 @@ from .analytic import (
     transfer_energy_pj,
     transfer_latency_cycles,
 )
+from .flowcontrol import (
+    FlowControlDeadlockError,
+    FlowControlParams,
+    GrantTrace,
+    LinkTelemetry,
+    link_telemetry,
+)
 from .perf import TaskPerf, evaluate_task
 from .routing import (
     LinkQueueIndex,
@@ -28,6 +39,7 @@ from .routing import (
 )
 from .simulator import (
     ENGINES,
+    FLOW_CONTROL_FROM_PARAMS,
     Message,
     PacketSim,
     SimReport,
@@ -48,7 +60,12 @@ from .vectorized import (
 __all__ = [
     "CommReport",
     "ENGINES",
+    "FLOW_CONTROL_FROM_PARAMS",
+    "FlowControlDeadlockError",
+    "FlowControlParams",
+    "GrantTrace",
     "LinkQueueIndex",
+    "LinkTelemetry",
     "Message",
     "PacketSim",
     "RoutingTables",
@@ -56,6 +73,7 @@ __all__ = [
     "TaskPerf",
     "build_link_queue_index",
     "build_routing_tables",
+    "link_telemetry",
     "communication_cost",
     "communication_cost_vec",
     "evaluate_task",

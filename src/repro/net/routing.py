@@ -190,6 +190,25 @@ class LinkQueueIndex:
         lo, hi = self.link_indptr[link], self.link_indptr[link + 1]
         return self.entry_pair[lo:hi], self.entry_hop[lo:hi]
 
+    def buffer_capacity_flits(self, flow_control) -> "np.ndarray | None":
+        """Per-link downstream input-buffer capacity under ``flow_control``.
+
+        The buffer-capacity metadata of the queue index: ``(L,)`` int64
+        flits per directed link, or ``None`` for infinite buffers (open
+        loop).  Capacities are uniform today --
+        :class:`~repro.net.flowcontrol.FlowControlParams.buffer_flits`
+        broadcast over the links -- but both flow-control engines
+        consume this array, so per-link heterogeneous buffers (deeper
+        vertical-link FIFOs, say) only need a change here.
+        """
+        if flow_control is None or flow_control.buffer_flits is None:
+            return None
+        return np.full(
+            self.num_directed_links,
+            int(flow_control.buffer_flits),
+            dtype=np.int64,
+        )
+
 
 def build_link_queue_index(tables: RoutingTables) -> LinkQueueIndex:
     """Build the link-major :class:`LinkQueueIndex` for ``tables``."""

@@ -48,6 +48,14 @@ import numpy as np
 
 from ..noi.topology import Topology
 from ..params import NoIParams
+from .flowcontrol import (
+    FlowControlParams,
+    GrantTrace,
+    LinkTelemetry,
+    link_telemetry,
+    simulate_fc_epochs,
+    simulate_fc_events,
+)
 from .routing import concat_ranges
 
 #: Default packet payload in bytes.
@@ -55,6 +63,12 @@ PACKET_BYTES = 64
 
 #: Engine selectors accepted by :func:`simulate`.
 ENGINES = ("auto", "events", "epochs")
+
+#: ``flow_control`` default: derive the closed-loop knobs from the
+#: topology's ``NoIParams`` (``fc_buffer_flits`` et al.).  Pass ``None``
+#: or an inactive :class:`~repro.net.flowcontrol.FlowControlParams` to
+#: force the open-loop model regardless of the params.
+FLOW_CONTROL_FROM_PARAMS = "params"
 
 #: ``engine="auto"``: contended subsets at least this large go through
 #: the epoch engine; below it the heap's constant factor wins.
@@ -91,6 +105,8 @@ class SimReport:
     batched_packets: int = 0
     engine: str = "none"
     epochs: int = 0
+    #: Per-link census when the run was made with ``telemetry=True``.
+    telemetry: "LinkTelemetry | None" = None
 
     @property
     def total_latency_cycles(self) -> int:
@@ -119,6 +135,9 @@ class PacketSim:
     contended: np.ndarray
     engine: str
     epochs: int = 0
+    #: Per-link census (``simulate_packets(..., telemetry=True)``),
+    #: identical across engines by construction.
+    telemetry: "LinkTelemetry | None" = None
 
     @property
     def packets(self) -> int:
@@ -146,6 +165,7 @@ class PacketSim:
                 packets_delivered=0,
                 message_completion={},
                 engine=self.engine,
+                telemetry=self.telemetry,
             )
         return SimReport(
             makespan_cycles=int(self.completion.max()),
@@ -156,6 +176,7 @@ class PacketSim:
             batched_packets=self.packets - self.contended_packets,
             engine=self.engine,
             epochs=self.epochs,
+            telemetry=self.telemetry,
         )
 
 
@@ -253,6 +274,8 @@ def simulate(
     packet_bytes: int = PACKET_BYTES,
     batch_uncontended: bool = True,
     engine: str = "auto",
+    flow_control=FLOW_CONTROL_FROM_PARAMS,
+    telemetry: bool = False,
 ) -> SimReport:
     """Run the packet simulation for ``messages`` on ``topology``.
 
@@ -274,13 +297,40 @@ def simulate(
             (epoch-synchronous vectorized engine) or ``"auto"``
             (size-based choice).  All three produce bit-identical
             results.
+        flow_control: Closed-loop knobs -- the default
+            :data:`FLOW_CONTROL_FROM_PARAMS` derives them from the
+            topology's ``NoIParams`` (``fc_buffer_flits``,
+            ``fc_source_queue``, ``fc_credit_rtt``); pass a
+            :class:`~repro.net.flowcontrol.FlowControlParams` to
+            override or ``None`` to force the open-loop model.
+        telemetry: Collect the per-link
+            :class:`~repro.net.flowcontrol.LinkTelemetry` census
+            (``PacketSim.telemetry``); off by default because the grant
+            trace costs memory proportional to total hops.
     """
     return simulate_packets(
         topology, messages,
         packet_bytes=packet_bytes,
         batch_uncontended=batch_uncontended,
         engine=engine,
+        flow_control=flow_control,
+        telemetry=telemetry,
     ).report()
+
+
+def _resolve_flow_control(topology, flow_control) -> "FlowControlParams | None":
+    """Normalise the ``flow_control`` argument; ``None`` = open loop."""
+    if isinstance(flow_control, str):
+        if flow_control != FLOW_CONTROL_FROM_PARAMS:
+            raise ValueError(
+                f"unknown flow_control {flow_control!r}; expected a "
+                f"FlowControlParams, None, or "
+                f"{FLOW_CONTROL_FROM_PARAMS!r}"
+            )
+        flow_control = topology.params.flow_control()
+    if flow_control is not None and not flow_control.is_active:
+        return None
+    return flow_control
 
 
 def simulate_packets(
@@ -290,6 +340,8 @@ def simulate_packets(
     packet_bytes: int = PACKET_BYTES,
     batch_uncontended: bool = True,
     engine: str = "auto",
+    flow_control=FLOW_CONTROL_FROM_PARAMS,
+    telemetry: bool = False,
 ) -> PacketSim:
     """:func:`simulate` at per-packet resolution (see :class:`PacketSim`)."""
     if engine not in ENGINES:
@@ -297,6 +349,7 @@ def simulate_packets(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
     params = topology.params
+    fc = _resolve_flow_control(topology, flow_control)
     inject, src, dst, flits, mids = _packetize_vec(
         messages, packet_bytes, params
     )
@@ -307,7 +360,21 @@ def simulate_packets(
             inject=inject, src=src, dst=dst, flits=flits, message_id=mids,
             completion=empty, latency=empty.copy(),
             contended=np.empty(0, dtype=bool), engine="none",
+            telemetry=(
+                link_telemetry(
+                    GrantTrace.empty(),
+                    topology.routing_tables().num_directed_links, 0,
+                ) if telemetry else None
+            ),
         )
+    if fc is not None and fc.buffer_flits is not None:
+        max_flits = int(flits.max())
+        if fc.buffer_flits < max_flits:
+            raise ValueError(
+                f"buffer_flits={fc.buffer_flits} cannot hold the largest "
+                f"packet ({max_flits} flits); such a packet could never "
+                f"be forwarded"
+            )
     tables = topology.routing_tables()
     n = tables.num_nodes
     tables.check_reachable(src, dst, topology.name)
@@ -317,15 +384,26 @@ def simulate_packets(
 
     # One gather of every packet's route links; a link used by a single
     # packet can never queue, so packets touching only such links are
-    # contention-free and close in constant time.
-    entry_links = tables.route_links[concat_ranges(starts, hops)]
-    usage = np.bincount(entry_links, minlength=tables.num_directed_links)
-    pkt_of_entry = np.repeat(np.arange(num_packets, dtype=np.int64), hops)
-    shared = np.zeros(num_packets, dtype=np.int64)
-    np.add.at(shared, pkt_of_entry, (usage[entry_links] > 1).astype(np.int64))
-    contended = shared > 0
-    if not batch_uncontended:
+    # contention-free and close in constant time.  Finite buffers keep
+    # that true (a sole user of a link never waits for its credits),
+    # but per-source injection queues couple same-source packets even
+    # on disjoint links, so they force everything through the
+    # contended engine.
+    if fc is not None and fc.source_queue is not None:
         contended = np.ones(num_packets, dtype=bool)
+    else:
+        entry_links = tables.route_links[concat_ranges(starts, hops)]
+        usage = np.bincount(entry_links,
+                            minlength=tables.num_directed_links)
+        pkt_of_entry = np.repeat(
+            np.arange(num_packets, dtype=np.int64), hops
+        )
+        shared = np.zeros(num_packets, dtype=np.int64)
+        np.add.at(shared, pkt_of_entry,
+                  (usage[entry_links] > 1).astype(np.int64))
+        contended = shared > 0
+        if not batch_uncontended:
+            contended = np.ones(num_packets, dtype=bool)
 
     # Store-and-forward completion at zero load: injection + head-flit
     # pipeline + one serialisation per hop.
@@ -335,6 +413,7 @@ def simulate_packets(
     contended_ids = np.nonzero(contended)[0]
     resolved = "none"
     epochs = 0
+    contended_trace = None
     if contended_ids.size:
         resolved = engine
         if engine == "auto":
@@ -342,20 +421,107 @@ def simulate_packets(
                 "epochs" if contended_ids.size >= AUTO_EPOCH_MIN_PACKETS
                 else "events"
             )
-        if resolved == "epochs":
+        if fc is not None:
+            if resolved == "epochs":
+                epochs, contended_trace = simulate_fc_epochs(
+                    tables, fc, inject, src, flits, starts, hops,
+                    contended_ids, completion, latencies,
+                    collect_trace=telemetry,
+                )
+            else:
+                contended_trace = simulate_fc_events(
+                    tables, fc, inject, src, flits, starts, hops,
+                    contended_ids, completion, latencies,
+                    collect_trace=telemetry,
+                )
+        elif resolved == "epochs":
+            trace_chunks = [] if telemetry else None
             epochs = _simulate_contended_epochs(
                 tables, inject, flits, starts, hops,
                 contended_ids, completion, latencies,
+                trace=trace_chunks,
             )
+            if telemetry:
+                from .flowcontrol import _trace_from_chunks
+
+                contended_trace = _trace_from_chunks(trace_chunks)
         else:
+            trace_rows = [] if telemetry else None
             _simulate_contended(
                 tables, params, inject, flits, starts, hops,
                 contended_ids, completion, latencies,
+                trace=trace_rows,
             )
+            if telemetry:
+                from .flowcontrol import _trace_from_chunks
+
+                contended_trace = _trace_from_chunks([
+                    tuple(np.array(col, dtype=np.int64)
+                          for col in zip(*trace_rows))
+                ] if trace_rows else [])
+
+    census = None
+    if telemetry:
+        fast_trace = _fast_path_trace(
+            tables, inject, src, flits, starts, hops,
+            np.nonzero(~contended)[0],
+        )
+        trace = GrantTrace.concat(
+            [fast_trace] + ([contended_trace] if contended_trace else [])
+        )
+        census = link_telemetry(
+            trace, tables.num_directed_links, int(completion.max())
+        )
     return PacketSim(
         inject=inject, src=src, dst=dst, flits=flits, message_id=mids,
         completion=completion, latency=latencies, contended=contended,
-        engine=resolved, epochs=epochs,
+        engine=resolved, epochs=epochs, telemetry=census,
+    )
+
+
+def _fast_path_trace(
+    tables,
+    inject: np.ndarray,
+    src: np.ndarray,
+    flits: np.ndarray,
+    starts: np.ndarray,
+    hops: np.ndarray,
+    ids: np.ndarray,
+) -> GrantTrace:
+    """Grant trace of the contention-free fast path, closed form.
+
+    Uncontended packets never wait (their links are theirs alone), so
+    each hop's start is the previous start plus serialisation and the
+    link's fixed forwarding delay -- one segmented cumulative sum over
+    the packets' concatenated route links.
+    """
+    if ids.size == 0:
+        return GrantTrace.empty()
+    hop_delta = tables.queue_index().hop_delta
+    p_starts = starts[ids]
+    p_hops = hops[ids]
+    entries = concat_ranges(p_starts, p_hops)
+    links = tables.route_links[entries]
+    total = int(links.shape[0])
+    pkt_of = np.repeat(ids, p_hops)
+    offsets = np.cumsum(p_hops) - p_hops
+    hop_of = np.arange(total, dtype=np.int64) - np.repeat(offsets, p_hops)
+    f = flits[pkt_of]
+    step = f + hop_delta[links]
+    incl = np.cumsum(step)
+    seg_first = np.repeat(offsets, p_hops)
+    excl = (incl - step) - (incl[seg_first] - step[seg_first])
+    start = np.repeat(
+        inject[ids] + tables.stage_cycles[src[ids]], p_hops
+    ) + excl
+    return GrantTrace(
+        packet=pkt_of,
+        hop=hop_of,
+        link=links,
+        ready=start.copy(),
+        start=start,
+        flits=f,
+        credit_wait=np.zeros(total, dtype=np.int64),
     )
 
 
@@ -369,6 +535,7 @@ def _simulate_contended(
     contended_ids: np.ndarray,
     completion: np.ndarray,
     latencies: np.ndarray,
+    trace: "list | None" = None,
 ) -> None:
     """Event-heap simulation of the contended packet subset, in place.
 
@@ -404,6 +571,8 @@ def _simulate_contended(
         start = max(ready, link_free.get(edge, 0))
         serialization = int(flits[pkt])
         link_free[edge] = start + serialization
+        if trace is not None:
+            trace.append((pkt, hop, edge, ready, start, serialization, 0))
         arrival = (
             start + serialization + int(wire[edge]) + int(stage[link_v[edge]])
         )
@@ -449,6 +618,7 @@ def _simulate_contended_epochs(
     contended_ids: np.ndarray,
     completion: np.ndarray,
     latencies: np.ndarray,
+    trace: "list | None" = None,
 ) -> int:
     """Epoch-synchronous vectorized simulation of the contended subset.
 
@@ -548,6 +718,8 @@ def _simulate_contended_epochs(
             sorted_movers = movers[order]
             e_s = edge[order]
             r_s = ready[order]
+            if trace is not None:
+                ready_raw = r_s.copy()
             f_s = pflits[sorted_movers]
             head = np.empty(e_s.shape[0], dtype=bool)
             head[0] = True
@@ -563,6 +735,12 @@ def _simulate_contended_epochs(
             tail[-1] = True
             tail[:-1] = head[1:]
             link_free[e_s[tail]] = busy[tail]
+            if trace is not None:
+                trace.append((
+                    ids[sorted_movers], hop_m[order], e_s, ready_raw,
+                    busy - f_s, f_s,
+                    np.zeros(e_s.shape[0], dtype=np.int64),
+                ))
             arrival = busy + hop_delta[e_s]
             t[sorted_movers] = arrival
             hop[movers] = hop_m + 1
@@ -583,6 +761,8 @@ def simulate_transfers(
     packet_bytes: int = PACKET_BYTES,
     batch_uncontended: bool = True,
     engine: str = "auto",
+    flow_control=FLOW_CONTROL_FROM_PARAMS,
+    telemetry: bool = False,
 ) -> SimReport:
     """Convenience wrapper: simulate ``(src, dst, bytes)`` transfers."""
     table = np.asarray(transfers, dtype=np.int64).reshape(-1, 3)
@@ -596,4 +776,6 @@ def simulate_transfers(
         packet_bytes=packet_bytes,
         batch_uncontended=batch_uncontended,
         engine=engine,
+        flow_control=flow_control,
+        telemetry=telemetry,
     )

@@ -75,6 +75,40 @@ class NoIParams:
     #: Vertical hop energy per flit (MIVs are tiny).
     vertical_energy_pj_per_flit: float = 0.05
 
+    #: Closed-loop flow control (packet simulator): downstream
+    #: input-buffer capacity per directed link, in flits.  ``None``
+    #: keeps the open-loop infinite-buffer model -- exact backward
+    #: compatibility with every pre-flow-control result.
+    fc_buffer_flits: "int | None" = None
+
+    #: Closed-loop flow control: packets a source may have waiting to
+    #: start their first link before the generator defers injection.
+    #: ``None`` = unbounded (open-loop injection).
+    fc_source_queue: "int | None" = None
+
+    #: Cycles for a freed buffer credit to travel back upstream
+    #: (credit round-trip).  Only consulted when flow control is
+    #: active; must be >= 1.
+    fc_credit_rtt: int = 2
+
+    def flow_control(self):
+        """Materialise the ``fc_*`` knobs as a ``FlowControlParams``.
+
+        Sweep overrides arrive as floats, so integral values are
+        coerced back to ints here.  Imported lazily to keep
+        :mod:`repro.params` free of package-internal dependencies.
+        """
+        from .net.flowcontrol import FlowControlParams
+
+        def as_int(value):
+            return None if value is None else int(value)
+
+        return FlowControlParams(
+            buffer_flits=as_int(self.fc_buffer_flits),
+            source_queue=as_int(self.fc_source_queue),
+            credit_rtt=int(self.fc_credit_rtt),
+        )
+
     def router_stage_cycles(self, ports: int) -> int:
         """Pipeline depth of a router with ``ports`` network ports."""
         extra = 1 if ports >= self.router_extra_stage_ports else 0

@@ -1,4 +1,4 @@
-"""ASCII visualisation of NoI designs and runtime occupancy.
+"""ASCII visualisation of NoI designs, runtime state and sweep results.
 
 Renders the paper's illustrative figures in the terminal:
 
@@ -6,7 +6,16 @@ Renders the paper's illustrative figures in the terminal:
   with heads/tails marked;
 * :func:`render_occupancy` -- Fig. 4: mapped vs unmapped chiplets at a
   point in time;
-* :func:`render_placement` -- one task's footprint on the grid.
+* :func:`render_placement` -- one task's footprint on the grid;
+* :func:`render_link_utilization` -- per-link busy-fraction heatmap
+  from a simulator :class:`~repro.net.flowcontrol.LinkTelemetry`;
+* :func:`render_saturation_curves` -- accepted-throughput (or any
+  metric) vs offered load, one glyph per architecture;
+* :func:`render_pareto_fronts` -- DSE archive fronts per generation,
+  replayed from a :class:`~repro.eval.store.ResultStore` directory.
+
+Everything is plain strings -- headless by construction, no plotting
+dependencies.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from .core.floret import FloretDesign
+from .core.moo import pareto_front_indices
 from .core.sfc import FloretCurve
 from .noi.topology import Topology
 
@@ -83,6 +93,233 @@ def render_placement(
     """One task's footprint: ``#`` occupied, ``.`` free, petal letters dim."""
     owner = {cid: "task" for cid in chiplet_ids}
     return render_occupancy(design.topology, owner)
+
+
+#: Utilization deciles 0..9 then ``#`` for (near-)saturated links.
+_HEAT_GLYPHS = ".123456789#"
+
+
+def _heat_glyph(value: float) -> str:
+    """Bucket a 0..1 utilization into a single heat glyph."""
+    if value <= 0.0:
+        return _HEAT_GLYPHS[0]
+    if value >= 0.95:
+        return _HEAT_GLYPHS[-1]
+    return _HEAT_GLYPHS[max(1, min(9, int(value * 10)))]
+
+
+def render_link_utilization(
+    topology: Topology,
+    telemetry,
+    *,
+    top: int = 5,
+) -> str:
+    """Per-link utilization heatmap over the chiplet grid.
+
+    Each chiplet cell shows the busy-fraction decile of its hottest
+    *outgoing* directed link (``.`` idle .. ``9``, ``#`` saturated);
+    the hottest ``top`` links are listed below with their stall split,
+    so backpressure hot spots are visible at a glance.
+
+    ``telemetry`` is the :class:`~repro.net.flowcontrol.LinkTelemetry`
+    of a ``simulate_packets(..., telemetry=True)`` run on the same
+    topology.
+    """
+    tables = topology.routing_tables()
+    if telemetry.num_directed_links != tables.num_directed_links:
+        raise ValueError(
+            f"telemetry covers {telemetry.num_directed_links} links but "
+            f"{topology.name} has {tables.num_directed_links}"
+        )
+    util = telemetry.utilization()
+    per_node = [0.0] * topology.num_chiplets
+    for link, u in enumerate(util):
+        node = int(tables.link_u[link])
+        per_node[node] = max(per_node[node], float(u))
+
+    cols = max(c.x for c in topology.chiplets) + 1
+    rows = max(c.y for c in topology.chiplets) + 1
+    grid = [[" " for _ in range(cols)] for _ in range(rows)]
+    for chiplet in topology.chiplets:
+        grid[chiplet.y][chiplet.x] = _heat_glyph(per_node[chiplet.index])
+    body = "\n".join("".join(row) for row in grid)
+
+    order = sorted(range(util.shape[0]), key=lambda e: -util[e])[:top]
+    lines = [
+        f"link utilization over {telemetry.horizon_cycles} cycles "
+        f"(max outgoing link per chiplet; . idle, # saturated)",
+        body,
+    ]
+    for link in order:
+        if util[link] <= 0:
+            break
+        lines.append(
+            f"  {int(tables.link_u[link]):>3d}->"
+            f"{int(tables.link_v[link]):<3d} "
+            f"util {util[link]:.2f}  "
+            f"stall {int(telemetry.stall_cycles[link])}cy "
+            f"(credit {int(telemetry.credit_stall_cycles[link])}cy)  "
+            f"peak queue {int(telemetry.peak_queue_flits[link])} flits"
+        )
+    return "\n".join(lines)
+
+
+def _series_glyphs(names: Sequence[str]) -> Dict[str, str]:
+    """Stable single-character glyph per series name."""
+    glyphs: Dict[str, str] = {}
+    used = set()
+    pool = "abcdefghijklmnopqrstuvwxyz0123456789"
+    for name in names:
+        candidate = name[:1].upper() or "?"
+        if candidate in used:
+            candidate = next(
+                c.upper() for c in name[1:] + pool
+                if c.upper() not in used
+            )
+        glyphs[name] = candidate
+        used.add(candidate)
+    return glyphs
+
+
+def render_saturation_curves(
+    offered: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 52,
+    height: int = 14,
+    ylabel: str = "accepted throughput (pkt/node/cycle)",
+) -> str:
+    """ASCII chart of per-architecture curves against offered load.
+
+    Plots one glyph per architecture over a shared y-range, with the
+    ``y = x`` ideal-acceptance diagonal dotted in for reference --
+    below the knee, curves ride the diagonal; past it they plateau.
+    """
+    xs = [float(x) for x in offered]
+    if not xs or not series:
+        raise ValueError("offered rates and series must be non-empty")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(xs)}"
+            )
+    xmin, xmax = min(xs), max(xs)
+    xspan = (xmax - xmin) or 1.0
+    ymax = max(max(float(v) for v in values) for values in series.values())
+    ymax = max(ymax, xmax)
+
+    def cell(x: float, y: float) -> "tuple[int, int]":
+        col = round((x - xmin) / xspan * (width - 1))
+        row = (height - 1) - round(
+            min(max(y, 0.0), ymax) / ymax * (height - 1)
+        )
+        return row, col
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for x in xs:
+        row, col = cell(x, x)
+        grid[row][col] = "."
+    glyphs = _series_glyphs(list(series))
+    for name, values in series.items():
+        for x, y in zip(xs, values):
+            row, col = cell(x, float(y))
+            grid[row][col] = glyphs[name]
+    top_label = f"{ymax:.3f} "
+    bottom_label = f"{0.0:.3f} "
+    gutter = max(len(top_label), len(bottom_label))
+    lines = []
+    for i, row in enumerate(grid):
+        label = top_label if i == 0 else (
+            bottom_label if i == height - 1 else ""
+        )
+        lines.append(f"{label:>{gutter}}|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * (gutter + 1) + f"{xmin:.3f}"
+        + " " * max(1, width - 12) + f"{xmax:.3f}"
+    )
+    legend = ", ".join(f"{g}={n}" for n, g in glyphs.items())
+    lines.append(f"offered load (pkt/node/cycle) -> ; y: {ylabel}")
+    lines.append(f"[{legend}; . = ideal acceptance]")
+    return "\n".join(lines)
+
+
+def render_pareto_fronts(
+    results,
+    objectives: Sequence[str] = ("latency_cycles", "energy_pj"),
+    *,
+    width: int = 44,
+    height: int = 12,
+    tag_prefix: Optional[str] = None,
+) -> str:
+    """DSE archive fronts per generation, from stored sweep results.
+
+    ``results`` is a :class:`~repro.eval.store.ResultStore`, a store
+    directory path, or any iterable of
+    :class:`~repro.eval.sweeps.SweepResult`.  Generations come from the
+    ``tag@gN`` labels :func:`repro.eval.dse.dse_search` stamps on its
+    cases; for each generation the *cumulative* archive is scattered
+    (``.``) with its current Pareto front marked (``O``) on shared
+    axes, so the front's march toward the origin is visible across
+    panels.  Only the first two ``objectives`` are plotted.
+    """
+    from .eval.dse import extract_objectives
+
+    if isinstance(results, (str, bytes)) or hasattr(results, "__fspath__"):
+        from .eval.store import ResultStore
+
+        results = ResultStore(results).iter_results()
+    elif hasattr(results, "iter_results"):
+        results = results.iter_results()
+
+    xo, yo = objectives[0], objectives[1]
+    points: List["tuple[int, float, float]"] = []
+    for result in results:
+        tag = result.case.tag
+        if tag_prefix is not None and not tag.startswith(tag_prefix):
+            continue
+        prefix, sep, gen_text = tag.rpartition("@g")
+        generation = int(gen_text) if sep and gen_text.isdigit() else 0
+        try:
+            x, y = extract_objectives(result.metrics, (xo, yo))
+        except KeyError:
+            continue
+        points.append((generation, x, y))
+    if not points:
+        raise ValueError(
+            "no stored results with the requested objectives"
+            + (f" and tag prefix {tag_prefix!r}" if tag_prefix else "")
+        )
+
+    xs = [p[1] for p in points]
+    ys = [p[2] for p in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    panels = []
+    archive: List["tuple[float, float]"] = []
+    for generation in sorted({p[0] for p in points}):
+        archive.extend((x, y) for g, x, y in points if g == generation)
+        front = set(pareto_front_indices(archive))
+        grid = [[" " for _ in range(width)] for _ in range(height)]
+        for i, (x, y) in enumerate(archive):
+            col = round((x - xmin) / xspan * (width - 1))
+            row = (height - 1) - round((y - ymin) / yspan * (height - 1))
+            if grid[row][col] != "O":
+                grid[row][col] = "O" if i in front else "."
+        body = "\n".join("|" + "".join(row) for row in grid)
+        panels.append(
+            f"generation {generation}: archive {len(archive)}, "
+            f"front {len(front)}\n{body}\n+" + "-" * width
+        )
+    header = (
+        f"archive Pareto fronts ({xo} ->, {yo} v; O = front, . = "
+        f"dominated; x {xmin:.3g}..{xmax:.3g}, y {ymin:.3g}..{ymax:.3g})"
+    )
+    return header + "\n" + "\n".join(panels)
 
 
 def occupancy_from_schedule(

@@ -18,10 +18,14 @@ from repro.eval.experiments import (
     LOAD_SWEEP_MEASURE_CYCLES,
     LOAD_SWEEP_WARMUP_CYCLES,
     LoadSweepSpec,
+    SaturationSpec,
     evaluate_load_sweep_case,
+    evaluate_saturation_case,
     evaluate_sim_crosscheck_case,
     load_sweep_traffic,
     parse_load_workload,
+    parse_saturation_workload,
+    saturation_knee,
 )
 from repro.eval.sweeps import SweepCase
 
@@ -56,6 +60,35 @@ class TestParseLoadWorkload:
     def test_rejects_malformed(self, bad):
         with pytest.raises(ValueError):
             parse_load_workload(bad)
+
+    def test_missing_rate_message_names_format(self):
+        with pytest.raises(ValueError,
+                           match=r"not 'pattern@rate"):
+            parse_load_workload("uniform@")
+        with pytest.raises(ValueError,
+                           match=r"not 'pattern@rate"):
+            parse_load_workload("uniform")
+
+    def test_unparseable_rate_names_the_rate(self):
+        with pytest.raises(ValueError,
+                           match=r"bad injection rate '2x'"):
+            parse_load_workload("uniform@2x")
+
+    def test_zero_measure_window_message(self):
+        with pytest.raises(ValueError,
+                           match="measurement window must be positive"):
+            parse_load_workload("uniform@0.05:w64+0")
+
+    def test_negative_warmup_rejected_with_window_format(self):
+        # isdigit rejects the sign, so a negative warm-up fails the
+        # window format check with the expected-format message.
+        with pytest.raises(ValueError,
+                           match=r"bad window 'w-5\+128'"):
+            parse_load_workload("uniform@0.05:w-5+128")
+
+    def test_negative_measure_rejected(self):
+        with pytest.raises(ValueError, match="bad window"):
+            parse_load_workload("uniform@0.05:w64+-10")
 
 
 class TestLoadSweepTraffic:
@@ -158,6 +191,129 @@ class TestEvaluateLoadSweepCase:
         assert len(set(
             SweepRunner(evaluate_load_sweep_case).case_keys(cases)
         )) == len(cases)
+
+
+class TestParseSaturationWorkload:
+    def test_roundtrip(self):
+        spec = parse_saturation_workload("uniform@0.02-0.3/8:w64+256")
+        assert spec == SaturationSpec("uniform", 0.02, 0.3, 8, 64, 256)
+        assert parse_saturation_workload(spec.workload) == spec
+
+    def test_defaults_window(self):
+        spec = parse_saturation_workload("hotspot@0.05-0.5/4")
+        assert spec.warmup_cycles == LOAD_SWEEP_WARMUP_CYCLES
+        assert spec.measure_cycles == LOAD_SWEEP_MEASURE_CYCLES
+
+    def test_rates_grid(self):
+        spec = parse_saturation_workload("uniform@0.1-0.3/3")
+        assert np.allclose(spec.rates(), [0.1, 0.2, 0.3])
+        assert spec.load_spec(0.2).injection_rate == 0.2
+        assert spec.load_spec(0.2).pattern == "uniform"
+
+    @pytest.mark.parametrize("bad", [
+        "uniform", "uniform@0.1/4", "uniform@0.1-0.3",
+        "uniform@-0.3/4", "uniform@0.3-0.1/4", "uniform@0-0.3/4",
+        "uniform@0.1-1.5/4", "uniform@0.1-0.3/1",
+        "uniform@0.1-0.3/x", "uniform@x-0.3/4",
+        "uniform@0.1-0.3/4:w64+0",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_saturation_workload(bad)
+
+
+class TestSaturationKnee:
+    def test_knee_at_first_shortfall(self):
+        offered = np.array([0.1, 0.2, 0.3, 0.4])
+        accepted = np.array([0.1, 0.19, 0.22, 0.22])
+        knee, sat = saturation_knee(offered, accepted, tolerance=0.1)
+        assert knee == 0.3
+        assert sat == 0.22
+
+    def test_never_saturated_reports_last_rate(self):
+        offered = np.array([0.1, 0.2])
+        accepted = np.array([0.099, 0.198])
+        knee, sat = saturation_knee(offered, accepted)
+        assert knee == 0.2
+        assert sat == 0.198
+
+    def test_rejects_mismatched_or_empty(self):
+        with pytest.raises(ValueError):
+            saturation_knee(np.array([0.1]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            saturation_knee(np.array([]), np.array([]))
+
+
+class TestEvaluateSaturationCase:
+    FC = (("fc_buffer_flits", 24), ("fc_credit_rtt", 2),
+          ("fc_source_queue", 4))
+    CASE = SweepCase(arch="siam", num_chiplets=16,
+                     workload="uniform@0.05-0.35/4:w32+128",
+                     noi_overrides=FC)
+
+    def test_metrics_and_curves_sound(self):
+        m = evaluate_saturation_case(self.CASE)
+        offered = m["offered_rates"]
+        accepted = m["accepted_throughput"]
+        assert offered.shape == accepted.shape == (4,)
+        # Below the knee accepted tracks offered; everywhere bounded.
+        assert accepted[0] == pytest.approx(offered[0], rel=0.25)
+        assert accepted.max() <= 1.05 * offered.max()
+        assert m["saturation_throughput"] == pytest.approx(
+            accepted.max()
+        )
+        assert 0 < m["knee_rate"] <= m["peak_offered"]
+        assert 0 < m["peak_link_utilization"] <= 1.0
+        assert np.all(np.diff(m["steady_mean_latency"]) >= 0) or (
+            m["steady_mean_latency"].max()
+            >= m["steady_mean_latency"][0]
+        )
+
+    def test_closed_loop_bounds_queues_where_open_loop_grows(self):
+        # The behaviour the subsystem exists for: under hotspot
+        # overload the open loop piles unbounded waiting queues onto
+        # the hot links, while finite buffers + source queues bound the
+        # in-flight population -- at the cost of visible credit stalls.
+        from repro.net.flowcontrol import FlowControlParams
+        from repro.net.simulator import simulate_packets
+        from repro.eval.sweeps import case_topology
+
+        case = SweepCase(arch="siam", num_chiplets=16,
+                         workload="hotspot@0.35:w32+128", seed=1)
+        topo = case_topology(case)
+        spec = parse_load_workload(case.workload)
+        table = load_sweep_traffic(spec, 16, case.seed)
+        open_loop = simulate_packets(topo, table, flow_control=None,
+                                     telemetry=True)
+        closed = simulate_packets(
+            topo, table, telemetry=True,
+            flow_control=FlowControlParams(buffer_flits=6,
+                                           source_queue=2,
+                                           credit_rtt=2),
+        )
+        assert (closed.telemetry.peak_queue_flits.max()
+                < 0.25 * open_loop.telemetry.peak_queue_flits.max())
+        assert closed.telemetry.credit_stall_cycles.sum() > 0
+
+    def test_rides_sweep_runner_with_store(self, tmp_path):
+        cases = [self.CASE]
+        cold = SweepRunner(evaluate_saturation_case, workers=1,
+                           store=ResultStore(tmp_path)).run(cases)
+        assert not cold.failures and cold.store_hits == 0
+        warm = SweepRunner(evaluate_saturation_case, workers=1,
+                           store=ResultStore(tmp_path)).run(cases)
+        assert warm.store_hits == 1 and warm.evaluated == 0
+        assert cold.results[0].metrics == warm.results[0].metrics
+        for name, arr in cold.results[0].arrays.items():
+            assert np.array_equal(arr, warm.results[0].arrays[name]), name
+        # Distinct fc overrides hash to distinct keys.
+        other = SweepCase(arch="siam", num_chiplets=16,
+                          workload=self.CASE.workload,
+                          noi_overrides=(("fc_buffer_flits", 8),))
+        keys = SweepRunner(evaluate_saturation_case).case_keys(
+            [self.CASE, other]
+        )
+        assert len(set(keys)) == 2
 
 
 class TestSimCrosscheckCase:

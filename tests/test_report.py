@@ -1,10 +1,18 @@
-"""Unit tests: table rendering."""
+"""Unit tests: table rendering and perf-ratio history."""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.eval.report import format_ratio_series, format_table
+from repro.eval.report import (
+    append_ratio_history,
+    format_ratio_series,
+    format_table,
+    load_ratio_history,
+    ratio_drift_warning,
+)
 
 
 class TestFormatTable:
@@ -45,3 +53,46 @@ class TestRatioSeries:
         assert "floret" in out
         assert "1.50x" in out
         assert "2.00x" in out
+
+
+class TestRatioHistory:
+    def test_roundtrip_appends(self, tmp_path):
+        path = tmp_path / "sub" / "ratio-history.jsonl"
+        assert load_ratio_history(path) == []
+        append_ratio_history(path, {"bench": "x", "speedup": 6.1})
+        append_ratio_history(path, {"bench": "x", "speedup": 5.9})
+        history = load_ratio_history(path)
+        assert [rec["speedup"] for rec in history] == [6.1, 5.9]
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_ratio_history(path, {"speedup": 6.0})
+        with path.open("a") as fh:
+            fh.write('{"speedup": 5.')  # crashed writer
+        assert [r["speedup"] for r in load_ratio_history(path)] == [6.0]
+
+    def test_drift_warns_below_tolerance(self):
+        history = [{"speedup": s} for s in (6.0, 6.2, 5.8, 6.1)]
+        assert ratio_drift_warning(history, 6.0) is None
+        # 20% below the median 6.05 is ~4.84.
+        message = ratio_drift_warning(history, 4.5)
+        assert message is not None and "drifted" in message
+
+    def test_short_history_never_warns(self):
+        history = [{"speedup": 6.0}, {"speedup": 6.0}]
+        assert ratio_drift_warning(history, 0.1) is None
+
+    def test_window_limits_lookback(self):
+        # Old fast runs outside the window must not skew the median.
+        history = (
+            [{"speedup": 20.0}] * 30 + [{"speedup": 5.0}] * 20
+        )
+        assert ratio_drift_warning(history, 4.5, window=20) is None
+        assert ratio_drift_warning(history, 3.5, window=20) is not None
+
+    def test_records_are_json_lines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_ratio_history(path, {"bench": "load_sweep", "quick": False,
+                                    "speedup": 6.5})
+        line = path.read_text().strip()
+        assert json.loads(line)["bench"] == "load_sweep"

@@ -1,15 +1,19 @@
-"""Unit tests: ASCII visualisation."""
+"""Unit tests: ASCII visualisation (all headless, pure strings)."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.sfc import build_floret_curve
 from repro.viz import (
     occupancy_from_schedule,
+    render_link_utilization,
     render_occupancy,
+    render_pareto_fronts,
     render_petals,
     render_placement,
+    render_saturation_curves,
 )
 
 
@@ -65,6 +69,98 @@ class TestRenderOccupancy:
         ids = small_floret.allocation_order[:5]
         art = render_placement(small_floret, ids)
         assert art.count(".") == 31
+
+
+class TestRenderLinkUtilization:
+    def _telemetry(self, small_mesh):
+        from repro.eval.experiments import (
+            load_sweep_traffic,
+            parse_load_workload,
+        )
+        from repro.net.simulator import simulate_packets
+
+        spec = parse_load_workload("hotspot@0.1:w32+96")
+        table = load_sweep_traffic(spec, 36, 2)
+        return simulate_packets(small_mesh, table, telemetry=True).telemetry
+
+    def test_grid_and_hot_links(self, small_mesh):
+        art = render_link_utilization(small_mesh, self._telemetry(small_mesh))
+        lines = art.split("\n")
+        assert "link utilization" in lines[0]
+        # 6x6 grid body with heat glyphs only.
+        body = lines[1:7]
+        assert all(len(row) == 6 for row in body)
+        assert all(c in ".123456789#" for row in body for c in row)
+        # Hot-link list carries the stall split.
+        assert any("util" in line and "stall" in line
+                   for line in lines[7:])
+
+    def test_link_count_mismatch_rejected(self, small_mesh, small_kite):
+        with pytest.raises(ValueError, match="links"):
+            render_link_utilization(small_kite,
+                                    self._telemetry(small_mesh))
+
+
+class TestRenderSaturationCurves:
+    OFFERED = [0.05, 0.1, 0.15, 0.2]
+    SERIES = {
+        "floret": [0.05, 0.07, 0.07, 0.07],
+        "siam": [0.05, 0.1, 0.14, 0.15],
+    }
+
+    def test_chart_structure(self):
+        art = render_saturation_curves(self.OFFERED, self.SERIES)
+        assert "F=floret" in art and "S=siam" in art
+        assert "F" in art and "S" in art
+        assert "offered load" in art
+        assert "ideal acceptance" in art
+
+    def test_rejects_ragged_series(self):
+        with pytest.raises(ValueError, match="points"):
+            render_saturation_curves(self.OFFERED, {"x": [0.1]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_saturation_curves([], {})
+
+
+class TestRenderParetoFronts:
+    def _store_with_dse(self, tmp_path):
+        from repro.eval import (
+            ResultStore,
+            design_space,
+            dse_search,
+            evaluate_comm_case,
+        )
+
+        space = design_space(("siam", "kite"), (16,),
+                             flit_bytes=(16, 32))
+        store = ResultStore(tmp_path)
+        result = dse_search(space, evaluate_comm_case,
+                            population_size=8, generations=2,
+                            workers=1, store=store)
+        return store, result
+
+    def test_fronts_per_generation_from_store_dir(self, tmp_path):
+        store, result = self._store_with_dse(tmp_path)
+        art = render_pareto_fronts(tmp_path, tag_prefix="dse")
+        assert "archive Pareto fronts" in art
+        assert "generation 0" in art
+        assert "O" in art  # at least one front point marked
+        # Generations were stamped on the archive cases.
+        tags = {p.case.tag for p in result.archive}
+        assert any(tag.endswith("@g0") for tag in tags)
+
+    def test_accepts_store_instance_and_iterables(self, tmp_path):
+        store, _ = self._store_with_dse(tmp_path)
+        by_store = render_pareto_fronts(store, tag_prefix="dse")
+        by_list = render_pareto_fronts(list(store.iter_results()),
+                                       tag_prefix="dse")
+        assert by_store == by_list
+
+    def test_no_matching_results_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no stored results"):
+            render_pareto_fronts([], tag_prefix="dse")
 
 
 class TestOccupancyFromSchedule:
