@@ -53,8 +53,10 @@ __all__ = [
     "DSEResult",
     "DesignPoint",
     "DesignSpace",
+    "FC_OBJECTIVES",
     "dse_search",
     "extract_objectives",
+    "fc_design_space",
     "reference_search",
 ]
 
@@ -221,6 +223,47 @@ def design_space(
     )
 
 
+#: Minimised objectives for closed-loop flow-control searches: the
+#: load-sweep evaluator reports no ``latency_cycles``/``energy_pj``;
+#: under backpressure the interesting trade-off is mean steady-state
+#: latency against the tail.
+FC_OBJECTIVES: Tuple[str, ...] = (
+    "steady_mean_latency", "steady_max_latency",
+)
+
+
+def fc_design_space(
+    archs: Sequence[str] = ("siam",),
+    sizes: Sequence[int] = (16,),
+    *,
+    workload: str = "uniform@0.05:w64+256",
+    buffer_flits: Sequence[int] = (4, 16),
+    credit_rtt: Sequence[int] = (1, 2),
+    seed: int = 0,
+    tag: str = "dse-fc",
+) -> DesignSpace:
+    """Stock closed-loop flow-control space: buffer depth x credit RTT.
+
+    Spans the ``NoIParams.fc_buffer_flits`` / ``fc_credit_rtt`` knobs
+    over a :func:`~repro.eval.experiments.parse_load_workload` traffic
+    string, so :func:`~repro.eval.experiments.evaluate_load_sweep_case`
+    runs every candidate through the credit-backpressure simulator.
+    Search it with ``objectives=FC_OBJECTIVES`` -- finite buffers trade
+    mean steady-state latency against the stalled tail, which is the
+    trade-off the DSE should surface.  Keep ``buffer_flits`` values
+    comfortably above 1 on ring-like architectures: tiny buffers
+    genuinely deadlock there
+    (:class:`~repro.net.flowcontrol.FlowControlDeadlockError`), and an
+    oracle search propagates the failure instead of skipping it.
+    """
+    return design_space(
+        archs, sizes,
+        workload=workload, seed=seed, tag=tag,
+        fc_buffer_flits=tuple(int(v) for v in buffer_flits),
+        fc_credit_rtt=tuple(int(v) for v in credit_rtt),
+    )
+
+
 @dataclass(frozen=True)
 class DesignPoint:
     """One evaluated design: its case, metrics and objective vector."""
@@ -297,6 +340,39 @@ def reference_search(
     return tuple(front)
 
 
+def _drain_generation(
+    store, evaluate, cases, *, shard, lease_ttl_s, deadline_s
+):
+    """Drain one generation's cases across the worker fleet.
+
+    Runs this worker's :func:`repro.eval.shard.drain_cases` share (own
+    shard slice first, then lease-claimed takeover of orphaned work),
+    then reads the whole generation back from the shared store --
+    the inter-worker barrier every generation's selection needs.
+
+    Returns ``(results, own_evaluations)`` with ``results`` aligned to
+    ``cases``: the stored :class:`~repro.eval.sweeps.SweepResult`, this
+    worker's own failure record (store contract: errors are never
+    cached), or ``None`` for a case no worker could complete.
+    """
+    from .shard import drain_cases
+    from .store import case_key, evaluator_fingerprint
+
+    report = drain_cases(
+        store, evaluate, cases,
+        shard=shard, lease_ttl_s=lease_ttl_s, deadline_s=deadline_s,
+    )
+    local_failures = {r.case.case_id: r for r in report.failures}
+    fingerprint = evaluator_fingerprint(evaluate)
+    results = []
+    for case in cases:
+        result = store.get(case_key(case, fingerprint), case)
+        if result is None:
+            result = local_failures.get(case.case_id)
+        results.append(result)
+    return results, report.evaluated
+
+
 def dse_search(
     space: DesignSpace,
     evaluate,
@@ -309,6 +385,9 @@ def dse_search(
     workers: Optional[int] = None,
     chunksize: int = 4,
     store=None,
+    shard=None,
+    lease_ttl_s: float = 30.0,
+    sync_timeout_s: Optional[float] = None,
 ) -> DSEResult:
     """NSGA-II-style search for the Pareto-optimal designs of ``space``.
 
@@ -320,8 +399,28 @@ def dse_search(
     population covers the whole space (small grids), generation zero
     already evaluates every design and the result equals
     :func:`reference_search` -- the equivalence test pins exactly that.
+
+    **Sharded generations.**  With ``shard=ShardSpec(i, n)`` (requires
+    ``store``), each generation's population drains across the worker
+    fleet before selection: this process evaluates its deterministic
+    slice through :func:`repro.eval.shard.drain_cases` -- own cases
+    first, then lease-claimed work stolen from crashed or slow peers --
+    and reads the rest of the generation back from the shared store.
+    The search itself (RNG, selection, variation) runs redundantly and
+    identically on every worker, since all of them fold the same
+    store-exact metrics with the same ``seed``: launching ``n`` workers
+    with the same arguments and shards ``0/n .. n-1/n`` yields the same
+    :class:`DSEResult` on each, ``n`` times faster per generation.
+    ``evaluations``/``store_hits`` count *this worker's* share.
+    ``sync_timeout_s`` bounds the per-generation drain (a dead fleet
+    raises ``TimeoutError`` instead of hanging the barrier).
     """
     objectives = tuple(objectives)
+    if shard is not None and store is None:
+        raise ValueError(
+            "sharded DSE needs a shared ResultStore: the store is how "
+            "generation results cross worker processes"
+        )
     rng = random.Random(seed)
     runner = StreamingSweepRunner(
         evaluate, workers=workers, chunksize=chunksize, store=store
@@ -351,13 +450,32 @@ def dse_search(
             replace(space.case(g), tag=f"{space.tag}@g{generation}")
             for g in fresh
         ]
-        for genome, result in zip(fresh, runner.stream(cases)):
-            if not result.ok:
+        if shard is not None:
+            results, own_evaluations = _drain_generation(
+                store, evaluate, cases,
+                shard=shard, lease_ttl_s=lease_ttl_s,
+                deadline_s=sync_timeout_s,
+            )
+            evaluations += own_evaluations
+            store_hits += (
+                sum(1 for r in results if r is not None and r.ok)
+                - own_evaluations
+            )
+        else:
+            results = list(runner.stream(cases))
+            evaluations += len(fresh) - runner.last_store_hits
+            store_hits += runner.last_store_hits
+        for genome, result in zip(fresh, results):
+            if result is None or not result.ok:
                 failures += 1
                 failed.add(genome)
+                case_id = space.case(genome).case_id
+                error = result.error if result is not None else (
+                    "evaluation failed on every worker that attempted it "
+                    "(errors are never cached; see the worker logs)"
+                )
                 warnings.warn(
-                    f"DSE evaluation failed for {result.case.case_id}: "
-                    f"{result.error}",
+                    f"DSE evaluation failed for {case_id}: {error}",
                     RuntimeWarning,
                     stacklevel=3,
                 )
@@ -368,8 +486,6 @@ def dse_search(
                 metrics=dict(result.metrics),
                 objectives=extract_objectives(result.metrics, objectives),
             )
-        evaluations += len(fresh) - runner.last_store_hits
-        store_hits += runner.last_store_hits
 
     # Generation zero: distinct random sample (the whole space if the
     # population covers it).

@@ -132,6 +132,25 @@ def ratio_drift_warning(
     )
 
 
+def format_shard_progress(
+    done: int,
+    total: int,
+    *,
+    width: int = 32,
+    label: str = "grid",
+) -> str:
+    """One-line progress bar for shard coordinators tailing a store.
+
+    >>> format_shard_progress(3, 8, width=8)
+    'grid [###.....] 3/8 (37%)'
+    """
+    if total <= 0:
+        return f"{label} [{'.' * width}] 0/0"
+    filled = min(width, (done * width) // total)
+    bar = "#" * filled + "." * (width - filled)
+    return f"{label} [{bar}] {done}/{total} ({100 * done // total}%)"
+
+
 def format_ratio_series(
     baseline: str,
     ratios: Sequence[tuple],

@@ -35,7 +35,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -166,6 +166,11 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self._arrays_dir = self.root / "arrays"
         self.stats = StoreStats()
+        #: Where :class:`repro.eval.shard.LeaseBoard` keeps per-case
+        #: claim files.  Owned by the store so the whole shared-
+        #: directory layout is defined in one place; claim files are
+        #: transient coordination state, never results.
+        self.claims_root = self.root / "claims"
         self._records: Dict[str, dict] = {}
         #: Bytes of each shard already folded into ``_records``.
         self._consumed: Dict[str, int] = {}
@@ -288,6 +293,16 @@ class ResultStore:
 
     def __contains__(self, key: str) -> bool:
         return self.has(key)
+
+    def missing(self, keys: Iterable[str]) -> "frozenset[str]":
+        """Subset of ``keys`` without a complete stored result.
+
+        Stats-neutral bulk membership for shard coordination (drain
+        termination, coordinator tails): polling a grid's completion
+        every few hundred milliseconds must not drown the hit/miss
+        counters that describe sweep behaviour.
+        """
+        return frozenset(key for key in keys if self._peek(key) is None)
 
     def _complete_items(self) -> list:
         """All ``(key, record)`` pairs that pass the completeness check.

@@ -277,8 +277,12 @@ class StreamingSweepRunner(SweepRunner):
     """A :class:`SweepRunner` that yields results as they complete.
 
     Args:
-        evaluate, workers, chunksize, store: as for
-            :class:`SweepRunner`.
+        evaluate, workers, chunksize, store, shard: as for
+            :class:`SweepRunner`.  A ``shard`` restricts every stream
+            to this worker's deterministic slice of the grid (the
+            store directory is the shards' common substrate; the
+            coordinator merge in :func:`repro.eval.shard.merge_stream`
+            reassembles the full-grid aggregates).
         window: Maximum chunks in flight in the pool at once
             (backpressure + reorder-buffer bound).  Default:
             ``2 * workers``.
@@ -291,10 +295,11 @@ class StreamingSweepRunner(SweepRunner):
         workers: Optional[int] = None,
         chunksize: int = 4,
         store=None,
+        shard=None,
         window: Optional[int] = None,
     ) -> None:
         super().__init__(evaluate, workers=workers, chunksize=chunksize,
-                         store=store)
+                         store=store, shard=shard)
         self.window = window
         #: Workers the most recent stream actually used (1 after
         #: inline degradation); mirrors ``SweepOutcome.workers``.
@@ -312,7 +317,7 @@ class StreamingSweepRunner(SweepRunner):
         checkpoint: a later call with the same store re-evaluates only
         the cases that never completed.
         """
-        cases = list(cases)
+        cases = self._shard_slice(list(cases))
         keys: Optional[List[str]] = None
         hit_indices: set = set()
         if self.store is not None:

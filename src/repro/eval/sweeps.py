@@ -267,6 +267,14 @@ class SweepRunner:
             set, cached cases are answered without dispatch and fresh
             results are appended as they land, so a completed sweep
             replays with zero evaluations.
+        shard: Optional :class:`~repro.eval.shard.ShardSpec`.  When
+            set, :meth:`run` silently restricts any grid to this
+            worker's deterministic slice of it -- the partition-only
+            half of distributed execution, for fleets whose shards
+            share a ``store`` directory.  Lease-based claiming and
+            work stealing (crash recovery) live in
+            :func:`repro.eval.shard.drain_cases`; a bare ``shard=``
+            runner never evaluates outside its slice.
     """
 
     def __init__(
@@ -276,11 +284,24 @@ class SweepRunner:
         workers: Optional[int] = None,
         chunksize: int = 4,
         store=None,
+        shard=None,
     ) -> None:
         self.evaluate = evaluate
         self.workers = workers
         self.chunksize = max(1, chunksize)
         self.store = store
+        self.shard = shard
+        if shard is not None and store is None:
+            raise ValueError(
+                "shard= without store= would evaluate a slice and "
+                "discard the rest of the grid's substrate; sharded "
+                "runners must share a ResultStore directory"
+            )
+
+    def _shard_slice(self, cases: List[SweepCase]) -> List[SweepCase]:
+        if self.shard is None:
+            return cases
+        return [c for c in cases if self.shard.owns(c)]
 
     def case_keys(self, cases: Sequence[SweepCase]) -> List[str]:
         """Store keys of ``cases`` under this runner's evaluator."""
@@ -298,7 +319,7 @@ class SweepRunner:
         return max(1, min(os.cpu_count() or 1, num_cases))
 
     def run(self, cases: Iterable[SweepCase]) -> SweepOutcome:
-        cases = list(cases)
+        cases = self._shard_slice(list(cases))
         t0 = time.perf_counter()
         results: List[Optional[SweepResult]] = [None] * len(cases)
         keys: Optional[List[str]] = None

@@ -245,24 +245,19 @@ def render_saturation_curves(
     return "\n".join(lines)
 
 
-def render_pareto_fronts(
+def _dse_objective_points(
     results,
-    objectives: Sequence[str] = ("latency_cycles", "energy_pj"),
-    *,
-    width: int = 44,
-    height: int = 12,
-    tag_prefix: Optional[str] = None,
-) -> str:
-    """DSE archive fronts per generation, from stored sweep results.
+    objectives: Sequence[str],
+    tag_prefix: Optional[str],
+) -> List["tuple[int, float, float]"]:
+    """``(generation, x, y)`` triples from stored DSE sweep results.
 
-    ``results`` is a :class:`~repro.eval.store.ResultStore`, a store
-    directory path, or any iterable of
-    :class:`~repro.eval.sweeps.SweepResult`.  Generations come from the
-    ``tag@gN`` labels :func:`repro.eval.dse.dse_search` stamps on its
-    cases; for each generation the *cumulative* archive is scattered
-    (``.``) with its current Pareto front marked (``O``) on shared
-    axes, so the front's march toward the origin is visible across
-    panels.  Only the first two ``objectives`` are plotted.
+    Shared extraction behind :func:`render_pareto_fronts` and
+    :func:`render_hypervolume_trend`: accepts a
+    :class:`~repro.eval.store.ResultStore`, a store directory path or
+    any iterable of :class:`~repro.eval.sweeps.SweepResult`; the
+    generation comes from the ``tag@gN`` labels
+    :func:`repro.eval.dse.dse_search` stamps on its cases.
     """
     from .eval.dse import extract_objectives
 
@@ -291,7 +286,127 @@ def render_pareto_fronts(
             "no stored results with the requested objectives"
             + (f" and tag prefix {tag_prefix!r}" if tag_prefix else "")
         )
+    return points
 
+
+def hypervolume_2d(
+    points: Sequence["tuple[float, float]"],
+    ref_point: "tuple[float, float]",
+) -> float:
+    """Exact 2-objective hypervolume (minimisation) w.r.t. ``ref_point``.
+
+    Area of the union of boxes ``[x_i, ref_x] x [y_i, ref_y]`` -- the
+    region dominated by ``points`` and bounded by the reference.
+    Points at or beyond the reference contribute nothing; dominated or
+    duplicate points are handled by the sweep (no front filter needed).
+    """
+    ref_x, ref_y = float(ref_point[0]), float(ref_point[1])
+    inside = sorted(
+        (float(x), float(y)) for x, y in points if x < ref_x and y < ref_y
+    )
+    volume = 0.0
+    y_cover = ref_y
+    for i, (x, y) in enumerate(inside):
+        y_cover = min(y_cover, y)
+        next_x = inside[i + 1][0] if i + 1 < len(inside) else ref_x
+        volume += (next_x - x) * (ref_y - y_cover)
+    return volume
+
+
+def render_hypervolume_trend(
+    results,
+    objectives: Sequence[str] = ("latency_cycles", "energy_pj"),
+    *,
+    height: int = 10,
+    tag_prefix: Optional[str] = None,
+    ref_point: Optional["tuple[float, float]"] = None,
+    ref_margin: float = 0.05,
+) -> str:
+    """Hypervolume-over-generations bar chart from stored DSE results.
+
+    Replays the ``dse@gN`` generation tags out of a store (directory,
+    :class:`~repro.eval.store.ResultStore` or result iterable) and
+    charts the hypervolume of the *cumulative* archive after each
+    generation -- the standard scalar summary of front quality, so a
+    search that stopped improving is visible as a flat tail.  Archive
+    semantics make the trend monotonically non-decreasing by
+    construction; a drop means the store holds results from mixed
+    searches (use ``tag_prefix`` to isolate one).
+
+    The reference point defaults to the archive-wide nadir pushed out
+    by ``ref_margin`` of each objective's span, so every evaluated
+    design contributes volume; pass ``ref_point`` explicitly to compare
+    trends across stores.
+    """
+    points = _dse_objective_points(results, objectives, tag_prefix)
+    xs = [p[1] for p in points]
+    ys = [p[2] for p in points]
+    if ref_point is None:
+        xspan = (max(xs) - min(xs)) or 1.0
+        yspan = (max(ys) - min(ys)) or 1.0
+        ref_point = (max(xs) + ref_margin * xspan,
+                     max(ys) + ref_margin * yspan)
+
+    generations = sorted({p[0] for p in points})
+    archive: List["tuple[float, float]"] = []
+    volumes: List[float] = []
+    fronts: List[int] = []
+    for generation in generations:
+        archive.extend((x, y) for g, x, y in points if g == generation)
+        volumes.append(hypervolume_2d(archive, ref_point))
+        fronts.append(len(pareto_front_indices(archive)))
+
+    peak = max(volumes) or 1.0
+    col_w = max(4, max(len(f"g{g}") for g in generations) + 1)
+    grid = [[" " * col_w for _ in generations] for _ in range(height)]
+    for j, volume in enumerate(volumes):
+        level = round(volume / peak * height)
+        for i in range(height):
+            if height - i <= level:
+                grid[i][j] = ("#" * (col_w - 1)).center(col_w)
+    gutter = len(f"{peak:.3g} ")
+    lines = [
+        f"hypervolume of the cumulative DSE archive "
+        f"({objectives[0]} x {objectives[1]}, "
+        f"ref ({ref_point[0]:.4g}, {ref_point[1]:.4g}))"
+    ]
+    for i, row in enumerate(grid):
+        label = f"{peak:.3g} " if i == 0 else ""
+        lines.append(f"{label:>{gutter}}|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * (col_w * len(generations)))
+    lines.append(
+        " " * gutter + " "
+        + "".join(f"g{g}".center(col_w) for g in generations)
+    )
+    for generation, volume, front in zip(generations, volumes, fronts):
+        lines.append(
+            f"  g{generation}: hv {volume:.6g} "
+            f"({volume / peak:6.1%} of peak), front {front}"
+        )
+    return "\n".join(lines)
+
+
+def render_pareto_fronts(
+    results,
+    objectives: Sequence[str] = ("latency_cycles", "energy_pj"),
+    *,
+    width: int = 44,
+    height: int = 12,
+    tag_prefix: Optional[str] = None,
+) -> str:
+    """DSE archive fronts per generation, from stored sweep results.
+
+    ``results`` is a :class:`~repro.eval.store.ResultStore`, a store
+    directory path, or any iterable of
+    :class:`~repro.eval.sweeps.SweepResult`.  Generations come from the
+    ``tag@gN`` labels :func:`repro.eval.dse.dse_search` stamps on its
+    cases; for each generation the *cumulative* archive is scattered
+    (``.``) with its current Pareto front marked (``O``) on shared
+    axes, so the front's march toward the origin is visible across
+    panels.  Only the first two ``objectives`` are plotted.
+    """
+    points = _dse_objective_points(results, objectives, tag_prefix)
+    xo, yo = objectives[0], objectives[1]
     xs = [p[1] for p in points]
     ys = [p[2] for p in points]
     xmin, xmax = min(xs), max(xs)

@@ -33,6 +33,13 @@ def _synthetic_evaluate(case: SweepCase):
     return {"latency_cycles": latency, "energy_pj": energy}
 
 
+def _exploding_36(case: SweepCase):
+    """Module-level (store-fingerprintable) evaluator that breaks on 36."""
+    if case.num_chiplets == 36:
+        raise RuntimeError("bad size")
+    return _synthetic_evaluate(case)
+
+
 SPACE = design_space(
     ("siam", "kite"), (16, 36), flit_bytes=(16, 32, 64),
     workload="uniform", tag="test",
@@ -207,3 +214,115 @@ class TestStoreBackedSearch:
         # designs fails exactly once even though tournament offspring
         # re-propose them across three generations.
         assert result.failures == 2 * 1 * 3  # archs x sizes{36} x flits
+
+
+class TestFlowControlSpace:
+    def test_axes_span_the_fc_knobs(self):
+        from repro.eval.dse import fc_design_space
+
+        space = fc_design_space()
+        axes = dict(space.axes())
+        assert axes["fc_buffer_flits"] == (4, 16)
+        assert axes["fc_credit_rtt"] == (1, 2)
+        assert space.num_designs == 4
+
+    def test_cases_carry_fc_overrides(self):
+        from repro.eval.dse import fc_design_space
+
+        space = fc_design_space()
+        case = space.case(space.all_genomes()[0])
+        over = dict(case.noi_overrides)
+        assert set(over) == {"fc_buffer_flits", "fc_credit_rtt"}
+        params = case.params()
+        assert params.fc_buffer_flits == over["fc_buffer_flits"]
+        assert params.fc_credit_rtt == over["fc_credit_rtt"]
+
+    def test_search_equals_oracle_on_closed_loop_evaluator(self):
+        """Pinned reference for the stock flow-control space.
+
+        The oracle runs every candidate through the credit-backpressure
+        simulator; deeper buffers must dominate on this contended load
+        (shallow 4-flit buffers stall the steady-state tail), so the
+        front pins to the 16-flit designs.
+        """
+        from repro.eval.dse import FC_OBJECTIVES, fc_design_space
+        from repro.eval.experiments import evaluate_load_sweep_case
+
+        space = fc_design_space()
+        reference = reference_search(
+            space, evaluate_load_sweep_case, objectives=FC_OBJECTIVES
+        )
+        searched = dse_search(
+            space, evaluate_load_sweep_case, objectives=FC_OBJECTIVES,
+            population_size=space.num_designs, generations=1,
+            seed=0, workers=1,
+        )
+        assert searched.front_case_ids() == tuple(
+            p.case.case_id for p in reference
+        )
+        assert tuple(p.objectives for p in searched.pareto_front) == tuple(
+            p.objectives for p in reference
+        )
+        assert all(
+            dict(p.case.noi_overrides)["fc_buffer_flits"] == 16
+            for p in reference
+        )
+
+
+class TestShardedSearch:
+    def test_every_shard_returns_the_reference_result(self, tmp_path):
+        from repro.eval.shard import ShardSpec
+
+        reference = dse_search(
+            SPACE, _synthetic_evaluate,
+            objectives=("latency_cycles", "energy_pj"),
+            population_size=8, generations=2, seed=3, workers=1,
+        )
+        sharded = [
+            dse_search(
+                SPACE, _synthetic_evaluate,
+                objectives=("latency_cycles", "energy_pj"),
+                population_size=8, generations=2, seed=3, workers=1,
+                store=ResultStore(tmp_path), shard=ShardSpec(i, 2),
+                sync_timeout_s=60.0,
+            )
+            for i in range(2)
+        ]
+        for result in sharded:
+            assert result.front_case_ids() == reference.front_case_ids()
+            assert tuple(p.objectives for p in result.pareto_front) == (
+                tuple(p.objectives for p in reference.pareto_front)
+            )
+        # The fleet split the evaluations: together they evaluated the
+        # reference's workload exactly once (worker 0 ran first and
+        # stole the absent peer's share; worker 1 replayed hits).
+        assert sum(r.evaluations for r in sharded) == reference.evaluations
+        assert sharded[1].evaluations == 0
+        assert sharded[1].store_hits > 0
+
+    def test_shard_without_store_rejected(self):
+        from repro.eval.shard import ShardSpec
+
+        with pytest.raises(ValueError, match="store"):
+            dse_search(
+                SPACE, _synthetic_evaluate,
+                objectives=("latency_cycles", "energy_pj"),
+                shard=ShardSpec(0, 2),
+            )
+
+    def test_sharded_failures_stay_deterministic(self, tmp_path):
+        """Broken designs fail on every worker, never poison the store."""
+        from repro.eval.shard import ShardSpec
+
+        with pytest.warns(RuntimeWarning, match="DSE evaluation failed"):
+            result = dse_search(
+                SPACE, _exploding_36,
+                objectives=("latency_cycles", "energy_pj"),
+                population_size=SPACE.num_designs, generations=1,
+                seed=0, workers=1,
+                store=ResultStore(tmp_path), shard=ShardSpec(0, 1),
+            )
+        assert all(p.case.num_chiplets != 36 for p in result.archive)
+        assert result.failures == 6
+        # Errors were never cached: the store holds only good designs.
+        assert len(ResultStore(tmp_path)) == SPACE.num_designs - 6

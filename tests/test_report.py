@@ -96,3 +96,29 @@ class TestRatioHistory:
                                     "speedup": 6.5})
         line = path.read_text().strip()
         assert json.loads(line)["bench"] == "load_sweep"
+
+
+class TestFormatShardProgress:
+    def test_fill_and_counts(self):
+        from repro.eval.report import format_shard_progress
+
+        art = format_shard_progress(3, 8, width=8)
+        assert art == "grid [###.....] 3/8 (37%)"
+
+    def test_complete_bar(self):
+        from repro.eval.report import format_shard_progress
+
+        art = format_shard_progress(8, 8, width=8)
+        assert "[########]" in art and "8/8 (100%)" in art
+
+    def test_empty_grid(self):
+        from repro.eval.report import format_shard_progress
+
+        assert format_shard_progress(0, 0, width=4) == "grid [....] 0/0"
+
+    def test_custom_label(self):
+        from repro.eval.report import format_shard_progress
+
+        assert format_shard_progress(0, 2, label="gen 3").startswith(
+            "gen 3 ["
+        )

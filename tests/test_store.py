@@ -292,3 +292,36 @@ class TestConcurrencyAndDurability:
         assert len(store) == 3
         assert len(store.keys()) == 3
         assert len(ResultStore(tmp_path)) == 3
+
+
+class TestShardHelpers:
+    def test_missing_reports_unstored_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cases = [SweepCase(arch="siam", num_chiplets=n)
+                 for n in (16, 36, 64)]
+        keys = [case_key(c, FP) for c in cases]
+        store.put(keys[0], result_for(cases[0]))
+        assert store.missing(keys) == frozenset(keys[1:])
+        for key, case in zip(keys[1:], cases[1:]):
+            store.put(key, result_for(case))
+        assert store.missing(keys) == frozenset()
+
+    def test_missing_is_stats_neutral(self, tmp_path):
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam", num_chiplets=16)
+        store.put(case_key(case, FP), result_for(case))
+        store.missing([case_key(case, FP), "absent"])
+        assert store.stats.hits == 0
+        assert store.stats.misses == 0
+
+    def test_missing_sees_other_writers(self, tmp_path):
+        reader = ResultStore(tmp_path)
+        case = SweepCase(arch="siam", num_chiplets=16)
+        key = case_key(case, FP)
+        assert reader.missing([key]) == frozenset([key])
+        ResultStore(tmp_path).put(key, result_for(case))
+        assert reader.missing([key]) == frozenset()
+
+    def test_claims_root_is_inside_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claims_root == store.root / "claims"

@@ -188,3 +188,92 @@ class TestOccupancyFromSchedule:
             t.placement.num_chiplets for t in result.completed
             if t.start_cycle == 0
         )
+
+
+class TestHypervolume:
+    def test_single_point_box(self):
+        from repro.viz import hypervolume_2d
+
+        assert hypervolume_2d([(1.0, 1.0)], (3.0, 2.0)) == 2.0
+
+    def test_two_point_front_union(self):
+        from repro.viz import hypervolume_2d
+
+        # Boxes 2x1 and 1x2 overlapping in a 1x1 corner: union = 3.
+        assert hypervolume_2d([(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0)) == 3.0
+
+    def test_dominated_and_duplicate_points_add_nothing(self):
+        from repro.viz import hypervolume_2d
+
+        base = hypervolume_2d([(1.0, 1.0)], (3.0, 3.0))
+        assert hypervolume_2d(
+            [(1.0, 1.0), (2.0, 2.0), (1.0, 1.0)], (3.0, 3.0)
+        ) == base
+
+    def test_points_beyond_reference_are_ignored(self):
+        from repro.viz import hypervolume_2d
+
+        assert hypervolume_2d([(5.0, 5.0)], (3.0, 3.0)) == 0.0
+        assert hypervolume_2d([], (3.0, 3.0)) == 0.0
+
+
+class TestRenderHypervolumeTrend:
+    def _results(self):
+        """Three generations with a front that marches toward origin."""
+        from repro.eval.sweeps import SweepCase, SweepResult
+
+        def result(gen, latency, energy, seed):
+            return SweepResult(
+                case=SweepCase(arch="siam", num_chiplets=16, seed=seed,
+                               tag=f"dse@g{gen}"),
+                metrics={"latency_cycles": latency, "energy_pj": energy},
+                elapsed_s=0.0,
+            )
+
+        return [
+            result(0, 10.0, 10.0, 0),
+            result(1, 6.0, 6.0, 1),
+            result(2, 9.0, 9.0, 2),   # dominated: flat tail
+        ]
+
+    def test_trend_is_monotone_nondecreasing(self):
+        from repro.viz import hypervolume_2d, render_hypervolume_trend
+
+        art = render_hypervolume_trend(self._results(),
+                                       ref_point=(12.0, 12.0))
+        assert "g0" in art and "g1" in art and "g2" in art
+        # Exact hypervolumes per cumulative generation.
+        g0 = hypervolume_2d([(10.0, 10.0)], (12.0, 12.0))
+        g1 = hypervolume_2d([(10.0, 10.0), (6.0, 6.0)], (12.0, 12.0))
+        assert f"hv {g0:.6g}" in art
+        assert f"hv {g1:.6g}" in art
+        # The dominated g2 point leaves the volume flat.
+        assert art.count(f"hv {g1:.6g}") == 2
+
+    def test_default_reference_covers_all_points(self):
+        from repro.viz import render_hypervolume_trend
+
+        art = render_hypervolume_trend(self._results())
+        assert "100.0% of peak" in art
+
+    def test_reads_a_store_directory(self, tmp_path):
+        from repro.eval import (
+            ResultStore,
+            design_space,
+            dse_search,
+            evaluate_comm_case,
+        )
+        from repro.viz import render_hypervolume_trend
+
+        space = design_space(("siam", "kite"), (16,), flit_bytes=(16, 32))
+        dse_search(space, evaluate_comm_case, population_size=8,
+                   generations=2, workers=1, store=ResultStore(tmp_path))
+        art = render_hypervolume_trend(tmp_path, tag_prefix="dse")
+        assert "hypervolume of the cumulative DSE archive" in art
+        assert "g0" in art
+
+    def test_no_points_rejected(self):
+        from repro.viz import render_hypervolume_trend
+
+        with pytest.raises(ValueError, match="no stored results"):
+            render_hypervolume_trend([], tag_prefix="dse")
