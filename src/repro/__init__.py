@@ -53,7 +53,10 @@ from .params import (
 # below the evaluator layer so stale cached results self-invalidate.
 # 1.2.0: closed-loop flow control (finite buffers / backpressure) in the
 # packet simulator -- pre-flow-control cached sweep results are stale.
-__version__ = "1.2.0"
+# 1.3.0: engine tiers epochs-par/epochs-jit and the params.sim_engine
+# knob the evaluators consume -- cached results predate the engine
+# field and must re-evaluate.
+__version__ = "1.3.0"
 
 __all__ = [
     "ContiguousMapper",

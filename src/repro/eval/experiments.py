@@ -655,12 +655,14 @@ def evaluate_load_sweep_case(case) -> Dict[str, float]:
     The case's ``workload`` is a :func:`parse_load_workload` string, so
     injection rate and warm-up/steady-state windows sweep as ordinary
     :class:`~repro.eval.sweeps.SweepCase` axes (store keys included).
-    Runs the packet simulator (``engine="auto"``: the epoch-synchronous
-    engine for any real load) and reports steady-state latency and
-    throughput -- warm-up packets fill the network but are excluded
-    from the steady metrics.  Flow-control knobs set through the case's
+    Runs the packet simulator with the params' ``sim_engine`` tier
+    (default ``"auto"``: the fastest available vectorized tier for any
+    real load) and reports steady-state latency and throughput --
+    warm-up packets fill the network but are excluded from the steady
+    metrics.  Flow-control knobs set through the case's
     ``noi_overrides`` (``fc_buffer_flits``, ``fc_source_queue``,
-    ``fc_credit_rtt``) turn the same sweep closed-loop.
+    ``fc_credit_rtt``) turn the same sweep closed-loop, and a
+    ``sim_engine`` override pins an engine tier for oracle runs.
     """
     from ..net.simulator import simulate_packets
     from .sweeps import case_topology
@@ -668,7 +670,7 @@ def evaluate_load_sweep_case(case) -> Dict[str, float]:
     spec = parse_load_workload(case.workload)
     topo = case_topology(case)
     table = load_sweep_traffic(spec, case.num_chiplets, case.seed)
-    sim = simulate_packets(topo, table, engine="auto")
+    sim = simulate_packets(topo, table, engine=topo.params.sim_engine)
     n = case.num_chiplets
     window = spec.window_cycles
     metrics: Dict[str, float] = {
@@ -853,7 +855,8 @@ def evaluate_saturation_case(case) -> Dict[str, object]:
     for rate in spec.rates():
         load = spec.load_spec(rate)
         table = load_sweep_traffic(load, n, case.seed)
-        sim = simulate_packets(topo, table, engine="auto", telemetry=True)
+        sim = simulate_packets(topo, table, engine=topo.params.sim_engine,
+                               telemetry=True)
         window = load.window_cycles
         offered.append(sim.packets / (n * window) if window else 0.0)
         if sim.packets == 0:
@@ -924,7 +927,8 @@ def evaluate_sim_crosscheck_case(case) -> Dict[str, float]:
         (i, i + 1, 512) for i in range(0, case.num_chiplets - 2, 2)
     ]
     analytic = communication_cost_vec(topo, transfers)
-    sim = simulate_transfers(topo, transfers)
+    sim = simulate_transfers(topo, transfers,
+                             engine=topo.params.sim_engine)
     return {
         "analytic_total_cycles": float(analytic.serial_latency_cycles),
         "sim_total_cycles": float(sum(sim.message_completion.values())),

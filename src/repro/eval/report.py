@@ -12,7 +12,9 @@ single-run threshold would miss.
 from __future__ import annotations
 
 import json
+import math
 import os
+import warnings
 from pathlib import Path
 from statistics import median
 from typing import Iterable, List, Mapping, Optional, Sequence
@@ -62,22 +64,37 @@ def format_table(
 def load_ratio_history(path) -> List[dict]:
     """All records of a ratio-history JSONL file, oldest first.
 
-    Tolerant of a torn tail line (a crashed writer): unparseable lines
-    are skipped, mirroring the result store's reader semantics.
+    Tolerant of a corrupted file (a torn tail line from a crashed
+    writer, or a truncated actions-cache restore): lines that do not
+    parse as a JSON *object* are skipped with a warning, mirroring the
+    result store's reader semantics, so a damaged history can degrade
+    the drift watch but never fail the bench step.
     """
     path = Path(path)
     if not path.exists():
         return []
     records = []
+    skipped = 0
     with path.open("r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError:
+                skipped += 1
                 continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            records.append(record)
+    if skipped:
+        warnings.warn(
+            f"ratio history {path}: skipped {skipped} corrupted line(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return records
 
 
@@ -114,16 +131,28 @@ def ratio_drift_warning(
     prior values of ``key`` in ``history`` and returns a warning
     message when it falls more than ``tolerance`` below that median --
     ``None`` otherwise, or when fewer than ``min_history`` prior values
-    exist (a short history has no meaningful trend).
+    exist (a short history has no meaningful trend).  Degenerate
+    history entries -- missing/null/non-numeric values, NaN or
+    infinities, and a zero or negative trailing median (which would
+    make the relative comparison meaningless) -- are ignored rather
+    than raised on, so a damaged history file can never fail a bench.
     """
-    values = [
-        float(rec[key]) for rec in history[-window:]
-        if isinstance(rec, Mapping) and key in rec
-    ]
+    values = []
+    for rec in history[-window:]:
+        if not isinstance(rec, Mapping) or key not in rec:
+            continue
+        try:
+            value = float(rec[key])
+        except (TypeError, ValueError):
+            continue
+        if math.isfinite(value):
+            values.append(value)
     if len(values) < min_history:
         return None
     trailing = median(values)
-    if current >= (1.0 - tolerance) * trailing:
+    if not math.isfinite(trailing) or trailing <= 0:
+        return None
+    if not math.isfinite(current) or current >= (1.0 - tolerance) * trailing:
         return None
     return (
         f"{key} ratio {current:.2f}x drifted more than "

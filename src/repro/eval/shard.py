@@ -220,7 +220,14 @@ class LeaseBoard:
         return True
 
     def _expired(self, mtime: float) -> bool:
-        return (time.time() - mtime) > self.ttl_s
+        # A future mtime (NTP step, cross-host clock skew on a shared
+        # store) would make the signed age negative forever, so the
+        # claim could never expire and the case would be wedged.  Treat
+        # any claim further than ttl_s from "now" -- in either
+        # direction -- as orphaned: a legitimate holder refreshes or
+        # releases within a TTL, while a claim stamped deep in the
+        # future can only be a skewed writer.
+        return abs(time.time() - mtime) > self.ttl_s
 
     def acquire(self, key: str) -> bool:
         """Try to claim ``key``; reap an expired claim if one blocks us."""

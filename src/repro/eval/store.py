@@ -390,20 +390,31 @@ class ResultStore:
         return True
 
     def _write_npz(self, key: str, arrays: Dict[str, np.ndarray]) -> None:
+        # Failure hygiene: a raising np.savez (disk full, bad array) or
+        # even a failing os.fdopen must leave neither an orphaned
+        # ``.tmp`` file (directory walks would pick it up) nor an open
+        # descriptor behind -- only the atomic os.replace publishes.
         self._arrays_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=self._arrays_dir, prefix=f".{key[:8]}-", suffix=".tmp"
         )
+        published = False
         try:
-            with os.fdopen(fd, "wb") as fh:
+            try:
+                fh = os.fdopen(fd, "wb")
+            except BaseException:
+                os.close(fd)  # fdopen never took ownership of the fd
+                raise
+            with fh:
                 np.savez_compressed(fh, **arrays)
             os.replace(tmp, self._npz_path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
+            published = True
+        finally:
+            if not published:
+                try:
+                    os.unlink(tmp)
+                except FileNotFoundError:
+                    pass
 
 
 def _overrides_from_json(pairs) -> Overrides:

@@ -6,12 +6,14 @@ Three evaluation layers share one routing substrate:
 * the batched NumPy engine (:mod:`repro.net.vectorized`) over the
   precomputed :mod:`repro.net.routing` tables -- the hot path,
 * the packet simulator (:mod:`repro.net.simulator`) with its own
-  engine split: closed-form fast path, event-heap oracle and the
-  epoch-synchronous vectorized contention engine, plus the closed-loop
-  flow-control subsystem (:mod:`repro.net.flowcontrol`): finite
-  per-link buffers with credit backpressure, per-source injection
-  queues and per-link telemetry, again as a heap-oracle/epoch-engine
-  pair pinned bit-exactly to each other.
+  engine split: closed-form fast path, event-heap oracle, the
+  epoch-synchronous vectorized contention engine, component-parallel
+  epoch resolution (``epochs-par``) and the optionally-compiled grant
+  kernel (:mod:`repro.net.grantkernel`, ``epochs-jit``), plus the
+  closed-loop flow-control subsystem (:mod:`repro.net.flowcontrol`):
+  finite per-link buffers with credit backpressure, per-source
+  injection queues and per-link telemetry.  Every tier is pinned
+  bit-exactly to the event-heap oracle.
 """
 
 from .analytic import (
@@ -36,6 +38,7 @@ from .routing import (
     RoutingTables,
     build_link_queue_index,
     build_routing_tables,
+    contention_components,
 )
 from .simulator import (
     ENGINES,
@@ -73,6 +76,7 @@ __all__ = [
     "TaskPerf",
     "build_link_queue_index",
     "build_routing_tables",
+    "contention_components",
     "link_telemetry",
     "communication_cost",
     "communication_cost_vec",

@@ -91,6 +91,14 @@ class NoIParams:
     #: active; must be >= 1.
     fc_credit_rtt: int = 2
 
+    #: Packet-simulator engine tier the experiment evaluators (load
+    #: sweeps, saturation ramps, sim crosschecks) pass through to
+    #: :func:`repro.net.simulator.simulate_packets` -- one of
+    #: ``repro.net.simulator.ENGINES``.  ``"auto"`` picks the fastest
+    #: available tier; pin ``"events"``/``"epochs"`` to force an oracle
+    #: run, e.g. as a sweep override when validating a new tier.
+    sim_engine: str = "auto"
+
     def flow_control(self):
         """Materialise the ``fc_*`` knobs as a ``FlowControlParams``.
 

@@ -69,7 +69,9 @@ class TestRatioHistory:
         append_ratio_history(path, {"speedup": 6.0})
         with path.open("a") as fh:
             fh.write('{"speedup": 5.')  # crashed writer
-        assert [r["speedup"] for r in load_ratio_history(path)] == [6.0]
+        with pytest.warns(RuntimeWarning, match="skipped 1"):
+            history = load_ratio_history(path)
+        assert [r["speedup"] for r in history] == [6.0]
 
     def test_drift_warns_below_tolerance(self):
         history = [{"speedup": s} for s in (6.0, 6.2, 5.8, 6.1)]
@@ -96,6 +98,66 @@ class TestRatioHistory:
                                     "speedup": 6.5})
         line = path.read_text().strip()
         assert json.loads(line)["bench"] == "load_sweep"
+
+
+class TestRatioHistoryDegenerate:
+    """Regression: a damaged/degenerate history must degrade the drift
+    watch, never raise (a truncated actions-cache restore used to be
+    able to fail the CI bench step)."""
+
+    def test_valid_json_non_dict_lines_skipped_with_warning(
+        self, tmp_path
+    ):
+        # A JSON array/scalar line parsed fine and used to reach
+        # consumers, whose rec.get(...) then raised AttributeError.
+        path = tmp_path / "h.jsonl"
+        append_ratio_history(path, {"speedup": 6.0})
+        with path.open("a") as fh:
+            fh.write("[1, 2, 3]\n")
+            fh.write("42\n")
+            fh.write('"speedup"\n')
+        with pytest.warns(RuntimeWarning, match="skipped 3"):
+            history = load_ratio_history(path)
+        assert all(isinstance(rec, dict) for rec in history)
+        assert [r["speedup"] for r in history] == [6.0]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("")
+        assert load_ratio_history(path) == []
+        assert ratio_drift_warning([], 1.0) is None
+
+    def test_single_entry_history_never_warns(self):
+        assert ratio_drift_warning([{"speedup": 6.0}], 0.01) is None
+
+    def test_null_and_non_numeric_values_ignored(self):
+        history = [
+            {"speedup": None},
+            {"speedup": "fast"},
+            {"speedup": 6.0},
+            {"speedup": 6.1},
+        ]
+        # Only two usable values: below min_history, no verdict, and
+        # critically no TypeError/ValueError from float().
+        assert ratio_drift_warning(history, 1.0) is None
+
+    def test_nan_and_inf_values_ignored(self):
+        history = [{"speedup": float("nan")}] * 10 + [
+            {"speedup": float("inf")},
+            {"speedup": 6.0}, {"speedup": 6.0}, {"speedup": 6.2},
+        ]
+        message = ratio_drift_warning(history, 4.0)
+        assert message is not None and "6.0" in message
+
+    def test_zero_or_negative_trailing_median_never_warns(self):
+        history = [{"speedup": 0.0}] * 5
+        assert ratio_drift_warning(history, 0.0001) is None
+        history = [{"speedup": -2.0}] * 5
+        assert ratio_drift_warning(history, 1.0) is None
+
+    def test_non_finite_current_never_warns(self):
+        history = [{"speedup": 6.0}] * 5
+        assert ratio_drift_warning(history, float("nan")) is None
 
 
 class TestFormatShardProgress:

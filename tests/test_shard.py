@@ -180,6 +180,32 @@ class TestLeaseBoard:
         )
         assert payload["worker"] == "a"
 
+    def test_future_mtime_orphan_is_reaped(self, tmp_path):
+        # Regression: a claim whose mtime is in the future (NTP step,
+        # cross-host clock skew on a shared store) had negative age
+        # under the signed-age check and could never expire, wedging
+        # every later claimant.
+        store = ResultStore(tmp_path)
+        ghost = LeaseBoard(store, worker="ghost", ttl_s=0.5)
+        assert ghost.acquire("k")
+        future = time.time() + 3600.0
+        os.utime(store.claims_root / "k.lease", (future, future))
+        b = LeaseBoard(store, worker="b", ttl_s=0.5)
+        assert not b.held("k")
+        assert b.acquire("k")
+
+    def test_future_mtime_within_ttl_is_live(self, tmp_path):
+        # Skew smaller than the TTL is indistinguishable from a live
+        # holder; the claim must stand.
+        store = ResultStore(tmp_path)
+        a = LeaseBoard(store, worker="a", ttl_s=60.0)
+        assert a.acquire("k")
+        future = time.time() + 5.0
+        os.utime(store.claims_root / "k.lease", (future, future))
+        b = LeaseBoard(store, worker="b", ttl_s=60.0)
+        assert b.held("k")
+        assert not b.acquire("k")
+
 
 class TestDrain:
     def test_whole_grid_drain(self, tmp_path):
@@ -246,6 +272,24 @@ class TestDrain:
         assert report.evaluated == len(cases)
         assert report.lease_denied > 0
         assert report.passes > 1
+
+    def test_drain_survives_future_mtime_orphan(self, tmp_path):
+        # Regression companion to the LeaseBoard clock-skew fix: a
+        # future-stamped orphan claim on one case must be reaped, not
+        # wedge the drain until its deadline.
+        store = ResultStore(tmp_path)
+        cases = _grid()
+        fp = evaluator_fingerprint(_eval_ok)
+        key = case_key(cases[0], fp)
+        LeaseBoard(store, worker="ghost", ttl_s=60.0).acquire(key)
+        future = time.time() + 3600.0
+        os.utime(store.claims_root / f"{key}.lease", (future, future))
+        report = drain_cases(
+            ResultStore(tmp_path), _eval_ok, cases,
+            lease_ttl_s=0.3, poll_s=0.02, deadline_s=10.0,
+        )
+        assert report.evaluated == len(cases)
+        assert not report.failures
 
     def test_deadline_raises_with_outstanding_cases(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -17,6 +17,7 @@ from repro.eval.experiments import load_sweep_traffic, parse_load_workload
 from repro.net.routing import build_link_queue_index
 from repro.net.simulator import (
     AUTO_EPOCH_MIN_PACKETS,
+    ENGINES,
     Message,
     _packetize,
     _packetize_vec,
@@ -178,7 +179,7 @@ class TestEdgeCases:
 
     def test_zero_payload_and_self_destination(self, line):
         msgs = [Message(0, 0, 512), Message(1, 2, 0)]
-        for engine in ("events", "epochs", "auto"):
+        for engine in ENGINES:
             report = simulate(line, msgs, engine=engine)
             assert report.packets_delivered == 0
             assert report.message_completion == {}
@@ -211,13 +212,53 @@ class TestEdgeCases:
         )
         assert report.engine == "events"
 
-    def test_auto_picks_epochs_at_scale(self, small_mesh):
+    def test_auto_picks_jit_or_parallel_at_scale(self, small_mesh):
+        from repro.net.grantkernel import NUMBA_AVAILABLE
+
         spec = parse_load_workload("uniform@0.2:w16+48")
         table = load_sweep_traffic(spec, small_mesh.num_chiplets, 1)
         sim = simulate_packets(small_mesh, table, engine="auto")
         assert sim.contended_packets >= AUTO_EPOCH_MIN_PACKETS
-        assert sim.engine == "epochs"
-        assert sim.epochs > 0
+        expected = "epochs-jit" if NUMBA_AVAILABLE else "epochs-par"
+        assert sim.engine == expected
+
+    def test_auto_threshold_boundary(self, line):
+        # Exactly AUTO_EPOCH_MIN_PACKETS contended packets flips auto
+        # from the heap to the scalable tiers; one fewer stays on the
+        # heap.  All identical single-packet messages over link (0, 1)
+        # so every packet is contended.
+        from repro.net.grantkernel import NUMBA_AVAILABLE
+
+        k = AUTO_EPOCH_MIN_PACKETS
+        msgs = [Message(0, 1, 64, message_id=i) for i in range(k)]
+        at = simulate_packets(line, msgs, engine="auto")
+        assert at.contended_packets == k
+        expected = "epochs-jit" if NUMBA_AVAILABLE else "epochs-par"
+        assert at.engine == expected
+        below = simulate_packets(line, msgs[:-1], engine="auto")
+        assert below.contended_packets == k - 1
+        assert below.engine == "events"
+        # And the tier auto picked agrees bit-exactly with the heap.
+        pinned = simulate_packets(line, msgs, engine="events")
+        assert_engines_identical(at.report(), pinned.report())
+
+    def test_single_packet_every_engine(self, line):
+        # A single packet rides the closed-form fast path; every engine
+        # arg must still produce the identical report.
+        msgs = [Message(0, 3, 64, inject_cycle=2, message_id=0)]
+        reports = [simulate(line, msgs, engine=e) for e in ENGINES]
+        for rep in reports[1:]:
+            assert_engines_identical(reports[0], rep)
+        assert reports[0].packets_delivered == 1
+
+    def test_all_tiers_identical_reports(self, line):
+        rng = np.random.default_rng(13)
+        msgs = _random_messages(8, rng, count=150)
+        baseline = simulate(line, msgs, engine="events")
+        for engine in ("epochs", "epochs-par", "epochs-jit", "auto"):
+            assert_engines_identical(
+                baseline, simulate(line, msgs, engine=engine)
+            )
 
     def test_packet_sim_exposes_per_packet_arrays(self, line):
         sim = simulate_packets(line, [Message(0, 3, 200, inject_cycle=5)])

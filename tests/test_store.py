@@ -293,6 +293,63 @@ class TestConcurrencyAndDurability:
         assert len(store.keys()) == 3
         assert len(ResultStore(tmp_path)) == 3
 
+    def test_failed_payload_write_leaves_store_clean(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: a raising np.savez_compressed (disk full,
+        # non-serialisable array) must not leave an orphaned ``.tmp``
+        # file behind for later directory walks to trip over, and the
+        # case must stay absent so it re-evaluates.
+        import numpy as _np
+
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_np, "savez_compressed", explode)
+        with pytest.raises(OSError, match="disk full"):
+            store.put(key, result_for(
+                case, arrays={"x": np.arange(4, dtype=np.int64)}
+            ))
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert list(tmp_path.rglob("*.npz")) == []
+        assert ResultStore(tmp_path).get(key, case) is None
+
+    def test_fdopen_failure_closes_descriptor(self, tmp_path, monkeypatch):
+        # Regression companion: if os.fdopen itself rejects the fd,
+        # the raw descriptor from mkstemp must still be closed and the
+        # temp file unlinked.
+        import os as _os
+        import tempfile as _tempfile
+
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam")
+        key = case_key(case, FP)
+        seen = {}
+        real_mkstemp = _tempfile.mkstemp
+
+        def spying_mkstemp(*args, **kwargs):
+            fd, tmp = real_mkstemp(*args, **kwargs)
+            seen["fd"] = fd
+            return fd, tmp
+
+        def rejecting_fdopen(fd, *args, **kwargs):
+            raise OSError("fdopen rejected")
+
+        monkeypatch.setattr(_tempfile, "mkstemp", spying_mkstemp)
+        monkeypatch.setattr(_os, "fdopen", rejecting_fdopen)
+        with pytest.raises(OSError, match="fdopen rejected"):
+            store.put(key, result_for(
+                case, arrays={"x": np.arange(4, dtype=np.int64)}
+            ))
+        monkeypatch.undo()
+        with pytest.raises(OSError):
+            _os.fstat(seen["fd"])  # closed: EBADF, not a leaked fd
+        assert list(tmp_path.rglob("*.tmp")) == []
+
 
 class TestShardHelpers:
     def test_missing_reports_unstored_keys(self, tmp_path):
