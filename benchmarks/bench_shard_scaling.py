@@ -17,6 +17,12 @@ sharing a store directory:
    same-host measurements, in the spirit of the repo's other perf
    gates.  (The ratio assertion needs real parallelism, so it arms
    only when the host has >= 3 CPUs -- always true on the CI runners.)
+   The 3-worker fleet also runs **traced** (``--trace``): the merged
+   per-worker JSONL trace files (``repro.obs``) must reconstruct each
+   worker's DrainReport numbers -- evaluated/stolen/store-hit counts --
+   bit-identically, proving the observability layer reports what the
+   fleet actually did.  With ``REPRO_TRACE`` set the traces land under
+   it (the sweep-results artifact); otherwise in the bench tmp dir.
 3. **Kill-recovery**: a worker is SIGKILLed mid-drain -- plus a live
    claim planted on a missing case, simulating the kill landing
    mid-evaluation -- and a late-started survivor must wait out the
@@ -104,21 +110,24 @@ def _assert_aggregates_identical(reference, other, label):
 
 
 def _spawn_worker(store, grid_json, shard, report_path, *,
-                  lease_ttl=30.0, poll=0.02):
+                  lease_ttl=30.0, poll=0.02, trace=None):
     """Launch one ``python -m repro.eval.shard worker`` subprocess."""
     src_root = str(Path(repro.__file__).resolve().parents[1])
     env = dict(os.environ)
     env["PYTHONPATH"] = src_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    argv = [
+        sys.executable, "-m", "repro.eval.shard", "worker",
+        "--store", str(store), "--grid", grid_json,
+        "--evaluator", EVALUATOR, "--shard", shard,
+        "--lease-ttl", str(lease_ttl), "--poll", str(poll),
+        "--deadline", "300", "--report", str(report_path),
+    ]
+    if trace is not None:
+        argv += ["--trace", str(trace)]
     return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.eval.shard", "worker",
-            "--store", str(store), "--grid", grid_json,
-            "--evaluator", EVALUATOR, "--shard", shard,
-            "--lease-ttl", str(lease_ttl), "--poll", str(poll),
-            "--deadline", "300", "--report", str(report_path),
-        ],
+        argv,
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -126,14 +135,15 @@ def _spawn_worker(store, grid_json, shard, report_path, *,
     )
 
 
-def _run_fleet(store, grid_json, count, tmp, label, *, lease_ttl=30.0):
+def _run_fleet(store, grid_json, count, tmp, label, *, lease_ttl=30.0,
+               trace=None):
     """Run ``count`` concurrent workers to completion; return reports."""
     procs = []
     for i in range(count):
         report_path = tmp / f"report-{label}-{i}.json"
         procs.append((report_path, _spawn_worker(
             store, grid_json, f"{i}/{count}", report_path,
-            lease_ttl=lease_ttl,
+            lease_ttl=lease_ttl, trace=trace,
         )))
     reports = []
     for report_path, proc in procs:
@@ -141,6 +151,35 @@ def _run_fleet(store, grid_json, count, tmp, label, *, lease_ttl=30.0):
         assert proc.returncode == 0, f"{label} worker failed:\n{out}"
         reports.append(json.loads(report_path.read_text()))
     return reports
+
+
+def _assert_trace_matches_reports(trace_dir, fleet_reports):
+    """The traced fleet's JSONL must reconstruct every DrainReport.
+
+    ``repro.obs`` merges the per-worker trace files and tallies the
+    ``drain_case`` spans; those tallies must be bit-identical to the
+    numbers each worker reported about itself -- evaluated (own-slice
+    plus stolen), stolen alone, and store hits.
+    """
+    from repro.obs import merge_traces, worker_case_counts
+
+    records = merge_traces(trace_dir)
+    counts = worker_case_counts(records)
+    for report in fleet_reports:
+        per = counts.get(report["worker"], {})
+        evaluated = per.get("evaluated", 0) + per.get("stolen", 0)
+        assert evaluated == len(report["evaluated_keys"]), (
+            f"trace shows {evaluated} evaluations for "
+            f"{report['worker']}, DrainReport says "
+            f"{len(report['evaluated_keys'])}"
+        )
+        assert per.get("stolen", 0) == report["stolen"], (
+            f"trace/report stolen mismatch for {report['worker']}"
+        )
+        assert per.get("hit", 0) == report["store_hits"], (
+            f"trace/report store-hit mismatch for {report['worker']}"
+        )
+    return records
 
 
 def _assert_no_duplicates(evaluated_key_sets, all_keys, label):
@@ -226,13 +265,18 @@ def _run(tmp):
     _assert_no_duplicates([single_reports[0]["evaluated_keys"]], keys,
                           "single worker")
 
-    # 2b. Three concurrent worker subprocesses sharing one store.
+    # 2b. Three concurrent worker subprocesses sharing one store --
+    # traced, so the merged JSONL must reconstruct every DrainReport.
+    trace_env = os.environ.get("REPRO_TRACE")
+    fleet_trace = (Path(trace_env) if trace_env else tmp) / "shard-fleet"
     fleet_store = tmp / "store-fleet"
     fleet_reports = _run_fleet(fleet_store, grid_json, WORKERS, tmp,
-                               "fleet")
+                               "fleet", trace=fleet_trace)
     _assert_no_duplicates(
         [r["evaluated_keys"] for r in fleet_reports], keys, "fleet"
     )
+    trace_records = _assert_trace_matches_reports(fleet_trace,
+                                                  fleet_reports)
     fleet_aggs = _aggregators()
     merged = merge_stream(ResultStore(fleet_store),
                           evaluate_load_sweep_case, cases, fleet_aggs)
@@ -252,6 +296,7 @@ def _run(tmp):
         "single_s": single_s,
         "fleet_s": fleet_s,
         "fleet_reports": fleet_reports,
+        "trace_records": trace_records,
         "speedup": single_s / max(fleet_s, 1e-9),
         "before_kill": before_kill,
         "recovered": recovered,
@@ -279,6 +324,10 @@ def test_shard_scaling(benchmark, tmp_path):
         f"fleet speedup {out['speedup']:.2f}x; kill-recovery: "
         f"{out['before_kill']} results survived the SIGKILL, survivor "
         f"re-evaluated {out['recovered']} (merge bit-identical)"
+    )
+    print(
+        f"trace reconstruction: {len(out['trace_records'])} records "
+        f"from {WORKERS} worker trace files match every DrainReport"
     )
 
     store_dir = os.environ.get("REPRO_STORE_DIR")

@@ -45,6 +45,7 @@ from ..core.moo import (
     non_dominated_sort_objectives,
     pareto_front_indices,
 )
+from ..obs.trace import resolve_tracer
 from .stream import StreamingSweepRunner
 from .sweeps import Overrides, SweepCase
 
@@ -341,7 +342,7 @@ def reference_search(
 
 
 def _drain_generation(
-    store, evaluate, cases, *, shard, lease_ttl_s, deadline_s
+    store, evaluate, cases, *, shard, lease_ttl_s, deadline_s, trace=None
 ):
     """Drain one generation's cases across the worker fleet.
 
@@ -361,6 +362,7 @@ def _drain_generation(
     report = drain_cases(
         store, evaluate, cases,
         shard=shard, lease_ttl_s=lease_ttl_s, deadline_s=deadline_s,
+        trace=trace,
     )
     local_failures = {r.case.case_id: r for r in report.failures}
     fingerprint = evaluator_fingerprint(evaluate)
@@ -388,6 +390,7 @@ def dse_search(
     shard=None,
     lease_ttl_s: float = 30.0,
     sync_timeout_s: Optional[float] = None,
+    trace=None,
 ) -> DSEResult:
     """NSGA-II-style search for the Pareto-optimal designs of ``space``.
 
@@ -414,6 +417,10 @@ def dse_search(
     ``evaluations``/``store_hits`` count *this worker's* share.
     ``sync_timeout_s`` bounds the per-generation drain (a dead fleet
     raises ``TimeoutError`` instead of hanging the barrier).
+
+    ``trace=`` (a tracer, a trace directory, or the ``REPRO_TRACE``
+    default) emits one ``dse_generation`` span per generation carrying
+    population, fresh-evaluation and Pareto-front sizes.
     """
     objectives = tuple(objectives)
     if shard is not None and store is None:
@@ -422,8 +429,10 @@ def dse_search(
             "generation results cross worker processes"
         )
     rng = random.Random(seed)
+    tracer = resolve_tracer(trace)
     runner = StreamingSweepRunner(
-        evaluate, workers=workers, chunksize=chunksize, store=store
+        evaluate, workers=workers, chunksize=chunksize, store=store,
+        trace=trace,
     )
     archive: Dict[Genome, DesignPoint] = {}
     #: Genomes that failed evaluation -- memoised so tournament
@@ -454,7 +463,7 @@ def dse_search(
             results, own_evaluations = _drain_generation(
                 store, evaluate, cases,
                 shard=shard, lease_ttl_s=lease_ttl_s,
-                deadline_s=sync_timeout_s,
+                deadline_s=sync_timeout_s, trace=trace,
             )
             evaluations += own_evaluations
             store_hits += (
@@ -494,42 +503,51 @@ def dse_search(
         population = list(all_genomes)
     else:
         population = rng.sample(all_genomes, population_size)
-    evaluate_batch(population, 0)
+    with tracer.span("dse_generation", generation=0,
+                     population=len(population)) as gen_span:
+        evaluate_batch(population, 0)
+        gen_span.add(archive=len(archive))
 
     for _generation in range(generations):
-        parents = [g for g in population if g in archive]
-        if not parents:
-            break
-        points = [archive[g] for g in parents]
-        fronts = non_dominated_sort_objectives(
-            [p.objectives for p in points]
-        )
-        rank: Dict[int, int] = {}
-        crowding: Dict[int, float] = {}
-        for depth, front in enumerate(fronts):
-            dist = crowding_distance_objectives(
-                [p.objectives for p in points], front
+        with tracer.span("dse_generation", generation=_generation + 1,
+                         population=len(population)) as gen_span:
+            parents = [g for g in population if g in archive]
+            if not parents:
+                break
+            points = [archive[g] for g in parents]
+            fronts = non_dominated_sort_objectives(
+                [p.objectives for p in points]
             )
-            for i in front:
-                rank[i] = depth
-                crowding[i] = dist[i]
+            gen_span.add(fronts=[len(front) for front in fronts])
+            rank: Dict[int, int] = {}
+            crowding: Dict[int, float] = {}
+            for depth, front in enumerate(fronts):
+                dist = crowding_distance_objectives(
+                    [p.objectives for p in points], front
+                )
+                for i in front:
+                    rank[i] = depth
+                    crowding[i] = dist[i]
 
-        def tournament() -> Genome:
-            a, b = rng.randrange(len(parents)), rng.randrange(len(parents))
-            if rank[a] != rank[b]:
-                return parents[a if rank[a] < rank[b] else b]
-            return parents[a if crowding[a] >= crowding[b] else b]
+            def tournament() -> Genome:
+                a = rng.randrange(len(parents))
+                b = rng.randrange(len(parents))
+                if rank[a] != rank[b]:
+                    return parents[a if rank[a] < rank[b] else b]
+                return parents[a if crowding[a] >= crowding[b] else b]
 
-        offspring: List[Genome] = []
-        while len(offspring) < population_size:
-            child = space.crossover(tournament(), tournament(), rng)
-            if rng.random() < mutation_rate:
-                child = space.mutate(child, rng)
-            offspring.append(child)
-        evaluate_batch(offspring, _generation + 1)
-        population = offspring
+            offspring: List[Genome] = []
+            while len(offspring) < population_size:
+                child = space.crossover(tournament(), tournament(), rng)
+                if rng.random() < mutation_rate:
+                    child = space.mutate(child, rng)
+                offspring.append(child)
+            evaluate_batch(offspring, _generation + 1)
+            gen_span.add(fresh_archive=len(archive))
+            population = offspring
 
     points = list(archive.values())
+    tracer.flush()
     return DSEResult(
         pareto_front=_front_of(points),
         objectives=objectives,

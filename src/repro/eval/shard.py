@@ -74,6 +74,9 @@ from typing import (
     Tuple,
 )
 
+from ..obs.clock import Stopwatch, wall
+from ..obs.metrics import REGISTRY
+from ..obs.trace import resolve_tracer
 from .store import ResultStore, case_key, evaluator_fingerprint
 from .sweeps import (
     Overrides,
@@ -194,11 +197,18 @@ class LeaseBoard:
     """
 
     def __init__(self, store: ResultStore, *,
-                 worker: str = "", ttl_s: float = 30.0) -> None:
+                 worker: str = "", ttl_s: float = 30.0,
+                 tracer=None) -> None:
         self.root = store.claims_root
         self.worker = worker or f"{socket.gethostname()}:{os.getpid()}"
         self.ttl_s = float(ttl_s)
+        self.tracer = resolve_tracer(tracer)
         self.root.mkdir(parents=True, exist_ok=True)
+
+    def _event(self, name: str, key: str) -> None:
+        REGISTRY.counter(name).inc()
+        if self.tracer.enabled:
+            self.tracer.event(name, key=key, worker=self.worker)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.lease"
@@ -233,6 +243,7 @@ class LeaseBoard:
         """Try to claim ``key``; reap an expired claim if one blocks us."""
         path = self._path(key)
         if self._create(path):
+            self._event("lease_claims", key)
             return True
         try:
             mtime = path.stat().st_mtime
@@ -241,6 +252,7 @@ class LeaseBoard:
             # contend again on the next pass rather than spinning here.
             return False
         if not self._expired(mtime):
+            self._event("lease_denied", key)
             return False
         # Reap: atomically take the (apparently expired) claim file.
         stolen = self.root / f"{path.name}.reap-{uuid.uuid4().hex[:12]}"
@@ -261,9 +273,14 @@ class LeaseBoard:
             except FileExistsError:
                 pass
             os.unlink(stolen)
+            self._event("lease_restores", key)
             return False
         os.unlink(stolen)
-        return self._create(path)
+        self._event("lease_reaps", key)
+        if self._create(path):
+            self._event("lease_claims", key)
+            return True
+        return False
 
     def release(self, key: str) -> None:
         """Drop our claim (after the result landed in the store)."""
@@ -293,7 +310,10 @@ class DrainReport:
     disjoint and cover the grid.  ``stolen`` counts evaluations outside
     the worker's own shard slice (work taken over from crashed or slow
     peers); ``lease_denied`` counts cases skipped because a live peer
-    claim held them.
+    claim held them.  ``case_timings`` records ``(case_id, start_s,
+    end_s)`` -- relative to drain start -- for every case this worker
+    ran the evaluator on (successes and failures), so fleet timeouts
+    name their stragglers.
     """
 
     worker: str
@@ -305,10 +325,21 @@ class DrainReport:
     passes: int
     elapsed_s: float
     failures: Tuple[SweepResult, ...] = ()
+    case_timings: Tuple[Tuple[str, float, float], ...] = ()
 
     @property
     def evaluated(self) -> int:
         return len(self.evaluated_keys)
+
+    @property
+    def slowest_case(self) -> Optional[Tuple[str, float]]:
+        """``(case_id, duration_s)`` of the slowest evaluated case."""
+        if not self.case_timings:
+            return None
+        case_id, start, end = max(
+            self.case_timings, key=lambda t: t[2] - t[1]
+        )
+        return case_id, end - start
 
     def to_json(self) -> str:
         return json.dumps({
@@ -321,6 +352,7 @@ class DrainReport:
             "passes": self.passes,
             "elapsed_s": self.elapsed_s,
             "failures": [r.case.case_id for r in self.failures],
+            "case_timings": [list(t) for t in self.case_timings],
         }, separators=(",", ":"))
 
 
@@ -334,6 +366,7 @@ def drain_cases(
     poll_s: float = 0.05,
     worker: str = "",
     deadline_s: Optional[float] = None,
+    trace=None,
 ) -> DrainReport:
     """Cooperatively drain ``cases`` into ``store`` as one worker.
 
@@ -350,9 +383,16 @@ def drain_cases(
     Run N processes with ``shard=ShardSpec(i, N)`` for distributed
     execution; parallelism comes from the process count, so each drain
     evaluates inline (one case at a time) and lease granularity stays
-    per-case.  Raises ``TimeoutError`` if ``deadline_s`` elapses first.
+    per-case.  Raises ``TimeoutError`` if ``deadline_s`` elapses first
+    -- the deadline is checked before every case, not just between
+    passes, so one long pass cannot overshoot it by a whole grid; the
+    message names the slowest completed case as the likely culprit
+    scale.  ``trace=`` accepts a tracer or trace directory (default:
+    the ``REPRO_TRACE`` environment); each processed case becomes a
+    ``drain_case`` span with its outcome, and the DrainReport carries
+    the same per-case timings in ``case_timings``.
     """
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     cases = list(cases)
     fingerprint = evaluator_fingerprint(evaluate)
     keys = [case_key(c, fingerprint) for c in cases]
@@ -363,25 +403,69 @@ def drain_cases(
     else:
         order = list(range(len(cases)))
         own = set(order)
-    board = LeaseBoard(store, worker=worker, ttl_s=lease_ttl_s)
+    tracer = resolve_tracer(trace, worker=worker)
+    board = LeaseBoard(store, worker=worker, ttl_s=lease_ttl_s,
+                       tracer=tracer)
 
     done: set = set()
     failed: Dict[int, SweepResult] = {}
     evaluated_keys: List[str] = []
+    case_timings: List[Tuple[str, float, float]] = []
     store_hits = 0
     stolen = 0
     denied_cases: set = set()
     passes = 0
+
+    def check_deadline() -> None:
+        if not watch.expired(deadline_s):
+            return
+        missing = [cases[i].case_id for i in order
+                   if i not in done and i not in failed]
+        message = (
+            f"shard drain deadline ({deadline_s}s) with "
+            f"{len(missing)} cases outstanding: {missing[:5]}"
+        )
+        if case_timings:
+            slow_id, start, end = max(case_timings,
+                                      key=lambda t: t[2] - t[1])
+            message += (
+                f"; slowest completed case {slow_id} "
+                f"took {end - start:.3f}s"
+            )
+        raise TimeoutError(message)
+
+    def span_case(i: int, outcome: str,
+                  start_s: float, end_s: float) -> None:
+        if tracer.enabled:
+            tracer.record_span(
+                "drain_case",
+                wall() - (watch.elapsed_s - start_s),
+                end_s - start_s,
+                case=cases[i].case_id,
+                key=keys[i],
+                outcome=outcome,
+                worker=board.worker,
+            )
+
+    def record_case(i: int, outcome: str,
+                    start_s: float, end_s: float) -> None:
+        case_timings.append((cases[i].case_id, start_s, end_s))
+        span_case(i, outcome, start_s, end_s)
+        REGISTRY.histogram("drain_case_s").observe(end_s - start_s)
+
     while True:
         passes += 1
         progressed = False
         for i in order:
             if i in done or i in failed:
                 continue
+            check_deadline()
+            start_s = watch.elapsed_s
             if store.has(keys[i]):
                 done.add(i)
                 store_hits += 1
                 progressed = True
+                span_case(i, "hit", start_s, watch.elapsed_s)
                 continue
             if not board.acquire(keys[i]):
                 denied_cases.add(i)
@@ -393,7 +477,9 @@ def drain_cases(
                     done.add(i)
                     store_hits += 1
                     progressed = True
+                    span_case(i, "hit", start_s, watch.elapsed_s)
                     continue
+                start_s = watch.elapsed_s
                 result = _evaluate_one(evaluate, cases[i])
                 if result.ok:
                     store.put(keys[i], result)
@@ -401,23 +487,22 @@ def drain_cases(
                     done.add(i)
                     if i not in own:
                         stolen += 1
+                        REGISTRY.counter("cases_stolen").inc()
+                    record_case(i, "stolen" if i not in own
+                                else "evaluated",
+                                start_s, watch.elapsed_s)
                 else:
                     failed[i] = result
+                    record_case(i, "failed", start_s, watch.elapsed_s)
                 progressed = True
             finally:
                 board.release(keys[i])
         if len(done) + len(failed) >= len(cases):
             break
-        if deadline_s is not None and time.perf_counter() - t0 > deadline_s:
-            missing = [cases[i].case_id for i in order
-                       if i not in done and i not in failed]
-            raise TimeoutError(
-                f"shard drain deadline ({deadline_s}s) with "
-                f"{len(missing)} cases outstanding: {missing[:5]}"
-            )
+        check_deadline()
         if not progressed:
             time.sleep(poll_s)
-    return DrainReport(
+    report = DrainReport(
         worker=board.worker,
         total=len(cases),
         store_hits=store_hits,
@@ -425,9 +510,25 @@ def drain_cases(
         stolen=stolen,
         lease_denied=len(denied_cases),
         passes=passes,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=watch.elapsed_s,
         failures=tuple(failed[i] for i in sorted(failed)),
+        case_timings=tuple(case_timings),
     )
+    if tracer.enabled:
+        tracer.record_span(
+            "drain", wall() - report.elapsed_s, report.elapsed_s,
+            worker=board.worker,
+            total=report.total,
+            evaluated=report.evaluated,
+            store_hits=report.store_hits,
+            stolen=report.stolen,
+            lease_denied=report.lease_denied,
+            passes=report.passes,
+            failures=len(report.failures),
+        )
+        tracer.metrics(REGISTRY)
+        tracer.flush()
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -453,17 +554,20 @@ def wait_for_cases(
     """
     fingerprint = evaluator_fingerprint(evaluate)
     keys = [case_key(c, fingerprint) for c in cases]
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     last = -1
+    last_progress_s = 0.0
     while True:
         missing = store.missing(keys)
         done = len(keys) - len(missing)
         if done != last and on_progress is not None:
             on_progress(done, len(keys))
+        if done != last:
             last = done
+            last_progress_s = watch.elapsed_s
         if not missing:
             return
-        if timeout_s is not None and time.perf_counter() - t0 > timeout_s:
+        if watch.expired(timeout_s):
             outstanding = [
                 case.case_id for case, key in zip(cases, keys)
                 if key in missing
@@ -471,7 +575,8 @@ def wait_for_cases(
             raise TimeoutError(
                 f"grid incomplete after {timeout_s}s: "
                 f"{len(outstanding)} cases outstanding "
-                f"(e.g. {outstanding[:5]})"
+                f"(e.g. {outstanding[:5]}); last progress "
+                f"{watch.elapsed_s - last_progress_s:.1f}s ago"
             )
         time.sleep(poll_s)
 
@@ -633,6 +738,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         poll_s=args.poll,
         worker=args.worker_id,
         deadline_s=args.deadline,
+        trace=args.trace or None,
     )
     print(
         f"worker {report.worker} shard {shard or 'whole-grid'}: "
@@ -706,6 +812,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="label for claims/reports (default host:pid)")
     worker.add_argument("--report", default="",
                         help="write a JSON DrainReport here")
+    worker.add_argument("--trace", default="",
+                        help="trace directory (default: $REPRO_TRACE)")
 
     merge = sub.add_parser(
         "merge", help="tail the store and reconstruct the aggregates"

@@ -39,6 +39,7 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY
 from .sweeps import Overrides, SweepCase, SweepResult
 
 #: Bump to invalidate every stored result (record format change).
@@ -264,8 +265,10 @@ class ResultStore:
         )
         if result is None:
             self.stats.misses += 1
+            REGISTRY.counter("store_misses").inc()
             return None
         self.stats.hits += 1
+        REGISTRY.counter("store_hits").inc()
         return result
 
     def has(self, key: str) -> bool:
@@ -288,6 +291,7 @@ class ResultStore:
         """
         if self._peek(key) is None:
             self.stats.misses += 1
+            REGISTRY.counter("store_misses").inc()
             return False
         return True
 
@@ -387,6 +391,7 @@ class ResultStore:
             os.close(fd)
         self._records[key] = record
         self.stats.puts += 1
+        REGISTRY.counter("store_puts").inc()
         return True
 
     def _write_npz(self, key: str, arrays: Dict[str, np.ndarray]) -> None:

@@ -27,7 +27,6 @@ evaluators) degrade to inline evaluation mid-stream with a loud
 
 from __future__ import annotations
 
-import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -42,6 +41,8 @@ from typing import (
     Tuple,
 )
 
+from ..obs.clock import Stopwatch
+from ..obs.metrics import REGISTRY, StreamingStats
 from .sweeps import (
     SweepCase,
     SweepResult,
@@ -63,12 +64,14 @@ __all__ = [
 # running aggregators: bounded-memory folds over the result stream
 
 
-class RunningStats:
+class RunningStats(StreamingStats):
     """Count/sum/extrema of one metric, folded one result at a time.
 
-    The sum is Neumaier-compensated (Kahan's variant that also survives
-    addends larger than the running sum) so a million-case stream does
-    not drift; the mean is ``sum / count``.
+    The numeric machinery -- Neumaier-compensated sum (Kahan's variant
+    that also survives addends larger than the running sum, so a
+    million-case stream does not drift), extrema, ``mean = sum /
+    count`` -- lives in :class:`repro.obs.metrics.StreamingStats`; this
+    class binds it to one named metric of a result stream.
 
     A successful result that lacks the metric raises ``KeyError`` --
     the same contract as the gather-path ``SweepOutcome.metric`` -- so
@@ -77,34 +80,13 @@ class RunningStats:
     """
 
     def __init__(self, metric: str) -> None:
+        super().__init__()
         self.metric = metric
-        self.count = 0
-        self._sum = 0.0
-        self._compensation = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
 
     def update(self, result: SweepResult) -> None:
         if not result.ok:
             return
-        value = float(result.metrics[self.metric])
-        self.count += 1
-        t = self._sum + value
-        if abs(self._sum) >= abs(value):
-            self._compensation += (self._sum - t) + value
-        else:
-            self._compensation += (value - t) + self._sum
-        self._sum = t
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-
-    @property
-    def sum(self) -> float:
-        return self._sum + self._compensation
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.count if self.count else float("nan")
+        self.add(float(result.metrics[self.metric]))
 
 
 class RunningPivot:
@@ -297,9 +279,10 @@ class StreamingSweepRunner(SweepRunner):
         store=None,
         shard=None,
         window: Optional[int] = None,
+        trace=None,
     ) -> None:
         super().__init__(evaluate, workers=workers, chunksize=chunksize,
-                         store=store, shard=shard)
+                         store=store, shard=shard, trace=trace)
         self.window = window
         #: Workers the most recent stream actually used (1 after
         #: inline degradation); mirrors ``SweepOutcome.workers``.
@@ -318,6 +301,7 @@ class StreamingSweepRunner(SweepRunner):
         the cases that never completed.
         """
         cases = self._shard_slice(list(cases))
+        tracer = self._tracer()
         keys: Optional[List[str]] = None
         hit_indices: set = set()
         if self.store is not None:
@@ -342,6 +326,7 @@ class StreamingSweepRunner(SweepRunner):
         try:
             for i, case in enumerate(cases):
                 if i in hit_indices:
+                    replay = Stopwatch()
                     hit = self.store.get(keys[i], case)
                     if hit is None:
                         # Payload vanished between probe and emission
@@ -350,6 +335,17 @@ class StreamingSweepRunner(SweepRunner):
                         hit = _evaluate_one(self.evaluate, case)
                         self.store.put(keys[i], hit)
                         self.last_store_hits -= 1
+                    else:
+                        REGISTRY.counter("cases_cached").inc()
+                        if tracer.enabled:
+                            from ..obs.clock import wall
+
+                            tracer.record_span(
+                                "replay_case",
+                                wall() - replay.elapsed_s,
+                                replay.elapsed_s,
+                                case=case.case_id,
+                            )
                     yield hit
                     continue
                 result = next(fresh)
@@ -360,6 +356,7 @@ class StreamingSweepRunner(SweepRunner):
             # Runs on abandonment too (GeneratorExit): queued futures
             # are cancelled even if no miss was ever consumed.
             close_fresh()
+            tracer.flush()
 
     def run_stream(
         self,
@@ -373,23 +370,32 @@ class StreamingSweepRunner(SweepRunner):
         counts.  Memory stays bounded by the aggregator state -- no
         result list is retained.
         """
-        t0 = time.perf_counter()
+        tracer = self._tracer()
+        watch = Stopwatch()
         total = 0
         ok_count = 0
         failures: List[SweepResult] = []
-        for result in self.stream(cases):
-            total += 1
-            if result.ok:
-                ok_count += 1
-            else:
-                failures.append(result)
-            for aggregator in aggregators:
-                aggregator.update(result)
+        with tracer.span("stream_run") as span:
+            for result in self.stream(cases):
+                total += 1
+                if result.ok:
+                    ok_count += 1
+                else:
+                    failures.append(result)
+                for aggregator in aggregators:
+                    aggregator.update(result)
+            span.add(
+                total=total,
+                failures=len(failures),
+                store_hits=self.last_store_hits,
+                workers=self.last_workers,
+            )
+        tracer.flush()
         return StreamOutcome(
             total=total,
             ok_count=ok_count,
             failures=tuple(failures),
-            elapsed_s=time.perf_counter() - t0,
+            elapsed_s=watch.elapsed_s,
             workers=self.last_workers,
             store_hits=self.last_store_hits,
             aggregators=tuple(aggregators),

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import os
 import pickle
-import time
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -49,6 +48,9 @@ from typing import (
 import numpy as np
 
 from ..noi.topology import Topology
+from ..obs.clock import Stopwatch
+from ..obs.metrics import REGISTRY
+from ..obs.trace import default_tracer, resolve_tracer
 from ..params import NoIParams
 
 #: Environment knob: hard override of worker count for every runner.
@@ -223,20 +225,46 @@ def is_pool_failure(exc: BaseException) -> bool:
     return False
 
 
+def _record_case(result: SweepResult) -> SweepResult:
+    """Metrics/trace bookkeeping for one evaluated case.
+
+    Runs in whichever process evaluated the case (pool workers pick up
+    ``REPRO_TRACE`` from the inherited environment), so per-worker
+    trace files attribute each case to the process that ran it.
+    """
+    if result.ok:
+        REGISTRY.counter("cases_evaluated").inc()
+    else:
+        REGISTRY.counter("cases_failed").inc()
+    REGISTRY.histogram("case_latency_s").observe(result.elapsed_s)
+    tracer = default_tracer()
+    if tracer.enabled:
+        from ..obs.clock import wall
+
+        tracer.record_span(
+            "evaluate_case",
+            wall() - result.elapsed_s,
+            result.elapsed_s,
+            case=result.case.case_id,
+            ok=result.ok,
+        )
+    return result
+
+
 def _evaluate_one(
     evaluate: Callable[[SweepCase], Mapping[str, float]],
     case: SweepCase,
 ) -> SweepResult:
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     try:
         raw = dict(evaluate(case))
     except Exception:
-        return SweepResult(
+        return _record_case(SweepResult(
             case=case,
             metrics={},
-            elapsed_s=time.perf_counter() - t0,
+            elapsed_s=watch.elapsed_s,
             error=traceback.format_exc(limit=8),
-        )
+        ))
     metrics: Dict[str, float] = {}
     arrays: Dict[str, np.ndarray] = {}
     for name, value in raw.items():
@@ -244,12 +272,12 @@ def _evaluate_one(
             arrays[name] = value
         else:
             metrics[name] = value
-    return SweepResult(
+    return _record_case(SweepResult(
         case=case,
         metrics=metrics,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=watch.elapsed_s,
         arrays=arrays or None,
-    )
+    ))
 
 
 class SweepRunner:
@@ -275,6 +303,11 @@ class SweepRunner:
             work stealing (crash recovery) live in
             :func:`repro.eval.shard.drain_cases`; a bare ``shard=``
             runner never evaluates outside its slice.
+        trace: Optional tracing target -- a
+            :class:`~repro.obs.trace.Tracer`, a trace directory path,
+            or ``None`` to defer to the ``REPRO_TRACE`` environment
+            variable (the default, which is a no-op tracer when the
+            variable is unset).
     """
 
     def __init__(
@@ -285,18 +318,35 @@ class SweepRunner:
         chunksize: int = 4,
         store=None,
         shard=None,
+        trace=None,
     ) -> None:
         self.evaluate = evaluate
         self.workers = workers
         self.chunksize = max(1, chunksize)
         self.store = store
         self.shard = shard
+        self.trace = trace
+        self._trace_tracer = None
         if shard is not None and store is None:
             raise ValueError(
                 "shard= without store= would evaluate a slice and "
                 "discard the rest of the grid's substrate; sharded "
                 "runners must share a ResultStore directory"
             )
+
+    def _tracer(self):
+        """This runner's tracer, opened once per explicit ``trace=``.
+
+        ``trace=None`` defers to :func:`~repro.obs.trace.default_tracer`
+        on every call (the env can change between runs, and forked pool
+        workers must open their own files); an explicit path or tracer
+        resolves once, so every run of this runner appends to one file.
+        """
+        if self.trace is None:
+            return default_tracer()
+        if self._trace_tracer is None:
+            self._trace_tracer = resolve_tracer(self.trace)
+        return self._trace_tracer
 
     def _shard_slice(self, cases: List[SweepCase]) -> List[SweepCase]:
         if self.shard is None:
@@ -320,36 +370,46 @@ class SweepRunner:
 
     def run(self, cases: Iterable[SweepCase]) -> SweepOutcome:
         cases = self._shard_slice(list(cases))
-        t0 = time.perf_counter()
-        results: List[Optional[SweepResult]] = [None] * len(cases)
-        keys: Optional[List[str]] = None
-        pending: List[int] = list(range(len(cases)))
-        if self.store is not None:
-            keys = self.case_keys(cases)
-            pending = []
-            for i, case in enumerate(cases):
-                hit = self.store.get(keys[i], case)
-                if hit is not None:
-                    results[i] = hit
-                else:
-                    pending.append(i)
-        store_hits = len(cases) - len(pending)
-        workers = self._resolve_workers(len(pending))
-        evaluated: Optional[List[SweepResult]] = None
-        pending_cases = [cases[i] for i in pending]
-        if workers > 1 and len(pending) > 1:
-            evaluated = self._run_pool(pending_cases, workers)
-        if evaluated is None:
-            workers = 1
-            evaluated = [_evaluate_one(self.evaluate, c)
-                         for c in pending_cases]
-        for i, result in zip(pending, evaluated):
-            results[i] = result
-            if self.store is not None and keys is not None:
-                self.store.put(keys[i], result)
+        tracer = self._tracer()
+        watch = Stopwatch()
+        with tracer.span("sweep_run", cases=len(cases)) as sweep_span:
+            results: List[Optional[SweepResult]] = [None] * len(cases)
+            keys: Optional[List[str]] = None
+            pending: List[int] = list(range(len(cases)))
+            if self.store is not None:
+                keys = self.case_keys(cases)
+                pending = []
+                for i, case in enumerate(cases):
+                    hit = self.store.get(keys[i], case)
+                    if hit is not None:
+                        results[i] = hit
+                    else:
+                        pending.append(i)
+            store_hits = len(cases) - len(pending)
+            if store_hits:
+                REGISTRY.counter("cases_cached").inc(store_hits)
+            workers = self._resolve_workers(len(pending))
+            evaluated: Optional[List[SweepResult]] = None
+            pending_cases = [cases[i] for i in pending]
+            if workers > 1 and len(pending) > 1:
+                evaluated = self._run_pool(pending_cases, workers)
+            if evaluated is None:
+                workers = 1
+                evaluated = [_evaluate_one(self.evaluate, c)
+                             for c in pending_cases]
+            for i, result in zip(pending, evaluated):
+                results[i] = result
+                if self.store is not None and keys is not None:
+                    self.store.put(keys[i], result)
+            sweep_span.add(
+                store_hits=store_hits,
+                evaluated=len(pending),
+                workers=workers,
+            )
+        tracer.flush()
         return SweepOutcome(
             results=tuple(r for r in results if r is not None),
-            elapsed_s=time.perf_counter() - t0,
+            elapsed_s=watch.elapsed_s,
             workers=workers,
             store_hits=store_hits,
         )

@@ -59,12 +59,15 @@ import heapq
 import itertools
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..noi.topology import Topology
+from ..obs.clock import clock
+from ..obs.metrics import REGISTRY
+from ..obs.trace import tracing_enabled
 from ..params import NoIParams
 from .flowcontrol import (
     FlowControlDeadlockError,
@@ -158,6 +161,14 @@ class SimReport:
     components: int = 0
     #: Per-link census when the run was made with ``telemetry=True``.
     telemetry: "LinkTelemetry | None" = None
+    #: Wall-time per simulation phase (``packetize``/``classify``/
+    #: ``resolve``/``telemetry``) when the run was profiled
+    #: (``profile=True`` or ``REPRO_TRACE`` set).  Excluded from
+    #: equality: timings are observational, the oracle tests compare
+    #: *results*.
+    phase_timings: "Dict[str, float] | None" = field(
+        default=None, compare=False
+    )
 
     @property
     def total_latency_cycles(self) -> int:
@@ -192,6 +203,11 @@ class PacketSim:
     #: Per-link census (``simulate_packets(..., telemetry=True)``),
     #: identical across engines by construction.
     telemetry: "LinkTelemetry | None" = None
+    #: Per-phase wall times when profiled; see
+    #: :attr:`SimReport.phase_timings`.
+    phase_timings: "Dict[str, float] | None" = field(
+        default=None, compare=False
+    )
 
     @property
     def packets(self) -> int:
@@ -220,6 +236,7 @@ class PacketSim:
                 message_completion={},
                 engine=self.engine,
                 telemetry=self.telemetry,
+                phase_timings=self.phase_timings,
             )
         return SimReport(
             makespan_cycles=int(self.completion.max()),
@@ -232,6 +249,7 @@ class PacketSim:
             epochs=self.epochs,
             components=self.components,
             telemetry=self.telemetry,
+            phase_timings=self.phase_timings,
         )
 
 
@@ -331,6 +349,7 @@ def simulate(
     engine: str = "auto",
     flow_control=FLOW_CONTROL_FROM_PARAMS,
     telemetry: bool = False,
+    profile: "bool | None" = None,
 ) -> SimReport:
     """Run the packet simulation for ``messages`` on ``topology``.
 
@@ -364,6 +383,10 @@ def simulate(
             :class:`~repro.net.flowcontrol.LinkTelemetry` census
             (``PacketSim.telemetry``); off by default because the grant
             trace costs memory proportional to total hops.
+        profile: Record per-phase wall times and engine-dispatch
+            metrics (``SimReport.phase_timings``).  ``None`` (default)
+            follows the ``REPRO_TRACE`` observability switch, so traced
+            runs profile every engine with zero configuration.
     """
     return simulate_packets(
         topology, messages,
@@ -372,6 +395,7 @@ def simulate(
         engine=engine,
         flow_control=flow_control,
         telemetry=telemetry,
+        profile=profile,
     ).report()
 
 
@@ -399,17 +423,26 @@ def simulate_packets(
     engine: str = "auto",
     flow_control=FLOW_CONTROL_FROM_PARAMS,
     telemetry: bool = False,
+    profile: "bool | None" = None,
 ) -> PacketSim:
     """:func:`simulate` at per-packet resolution (see :class:`PacketSim`)."""
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
+    if profile is None:
+        profile = tracing_enabled()
+    timings: "Dict[str, float] | None" = {} if profile else None
+    phase_t0 = clock() if profile else 0.0
     params = topology.params
     fc = _resolve_flow_control(topology, flow_control)
     inject, src, dst, flits, mids = _packetize_vec(
         messages, packet_bytes, params
     )
+    if profile:
+        now = clock()
+        timings["packetize"] = now - phase_t0
+        phase_t0 = now
     num_packets = int(inject.shape[0])
     if num_packets == 0:
         empty = np.empty(0, dtype=np.int64)
@@ -423,6 +456,7 @@ def simulate_packets(
                     topology.routing_tables().num_directed_links, 0,
                 ) if telemetry else None
             ),
+            phase_timings=timings,
         )
     if fc is not None and fc.buffer_flits is not None:
         max_flits = int(flits.max())
@@ -467,6 +501,10 @@ def simulate_packets(
     completion = inject + tables.pipeline_cycles[src, dst] + hops * flits
     latencies = completion - inject
 
+    if profile:
+        now = clock()
+        timings["classify"] = now - phase_t0
+        phase_t0 = now
     contended_ids = np.nonzero(contended)[0]
     resolved = "none"
     epochs = 0
@@ -536,6 +574,21 @@ def simulate_packets(
                           for col in zip(*trace_rows))
                 ] if trace_rows else [])
 
+    if profile:
+        now = clock()
+        timings["resolve"] = now - phase_t0
+        phase_t0 = now
+        # Engine-dispatch and scale counters: which tier actually
+        # resolved the contended subset, and how much lockstep work the
+        # epoch tiers did.  Behind the same flag as the phase timings
+        # so an untraced hot path pays nothing.
+        REGISTRY.counter(f"sim_engine_{resolved}").inc()
+        REGISTRY.counter("sim_packets").inc(num_packets)
+        REGISTRY.counter("sim_contended").inc(int(contended_ids.size))
+        if epochs:
+            REGISTRY.counter("sim_epochs").inc(epochs)
+        if components:
+            REGISTRY.counter("sim_components").inc(components)
     census = None
     if telemetry:
         fast_trace = _fast_path_trace(
@@ -548,11 +601,14 @@ def simulate_packets(
         census = link_telemetry(
             trace, tables.num_directed_links, int(completion.max())
         )
+    if profile and telemetry:
+        timings["telemetry"] = clock() - phase_t0
     return PacketSim(
         inject=inject, src=src, dst=dst, flits=flits, message_id=mids,
         completion=completion, latency=latencies, contended=contended,
         engine=resolved, epochs=epochs, components=components,
         telemetry=census,
+        phase_timings=timings,
     )
 
 
@@ -939,6 +995,7 @@ def simulate_transfers(
     engine: str = "auto",
     flow_control=FLOW_CONTROL_FROM_PARAMS,
     telemetry: bool = False,
+    profile: "bool | None" = None,
 ) -> SimReport:
     """Convenience wrapper: simulate ``(src, dst, bytes)`` transfers."""
     table = np.asarray(transfers, dtype=np.int64).reshape(-1, 3)
@@ -954,4 +1011,5 @@ def simulate_transfers(
         engine=engine,
         flow_control=flow_control,
         telemetry=telemetry,
+        profile=profile,
     )

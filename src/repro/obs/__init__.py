@@ -1,0 +1,92 @@
+"""Zero-dependency observability: tracing, metrics, and trace reports.
+
+The substrate ROADMAP items 1 (sweep-as-a-service) and 5 (fleet-scale
+DSE) read from.  Three pieces:
+
+* :mod:`repro.obs.clock` -- the shared monotonic-clock helpers
+  (:func:`clock`, :class:`Stopwatch`) that replace the hand-rolled
+  ``t0 = time.perf_counter()`` bookkeeping across the eval layer.
+* :mod:`repro.obs.trace` -- span/event tracing to per-process JSONL
+  files (:class:`Tracer`), disabled by default via :data:`NULL_TRACER`
+  (one attribute check on the hot path); ``REPRO_TRACE=<dir>`` or a
+  ``trace=`` kwarg enables it.
+* :mod:`repro.obs.metrics` -- process-local counters/gauges/log-bucket
+  histograms (:data:`REGISTRY`), snapshotted into the trace at close.
+
+:mod:`repro.obs.report` merges and renders multi-worker traces;
+``python -m repro.obs report <trace-dir>`` is the CLI.
+
+This package imports nothing from :mod:`repro.eval` or
+:mod:`repro.net` at module level, so any layer can depend on it
+without cycles.
+"""
+
+from .clock import Stopwatch, clock, wall
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKET_BOUNDS_S,
+    MetricsRegistry,
+    REGISTRY,
+    StreamingStats,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    TRACE_ENV,
+    Tracer,
+    default_tracer,
+    resolve_tracer,
+    tracing_enabled,
+    worker_identity,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKET_BOUNDS_S",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "REGISTRY",
+    "Stopwatch",
+    "StreamingStats",
+    "TRACE_ENV",
+    "Tracer",
+    "clock",
+    "default_tracer",
+    "merge_traces",
+    "phase_breakdown",
+    "render_report",
+    "resolve_tracer",
+    "slowest_cases",
+    "summarize_metrics",
+    "tracing_enabled",
+    "wall",
+    "worker_case_counts",
+    "worker_identity",
+    "worker_timeline",
+]
+
+_REPORT_EXPORTS = {
+    "merge_traces",
+    "phase_breakdown",
+    "render_report",
+    "slowest_cases",
+    "summarize_metrics",
+    "worker_case_counts",
+    "worker_timeline",
+}
+
+
+def __getattr__(name: str):
+    # Report helpers load lazily: repro.obs.report renders through
+    # repro.eval.report, and eager import here would cycle with the
+    # eval modules that import repro.obs at module level.
+    if name in _REPORT_EXPORTS:
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

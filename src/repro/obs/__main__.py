@@ -1,0 +1,105 @@
+"""CLI: ``python -m repro.obs report <trace-dir> [--top N]``.
+
+Subcommands:
+
+* ``report`` -- render the merged phase/worker/slowest-case report for
+  one or more trace directories (or individual ``.jsonl`` files).
+* ``merge`` -- merge trace sources into a single JSONL stream on
+  stdout or ``--out``, ordered by ``(t, worker, run, seq)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .report import merge_traces, render_report
+
+
+def _emit(text: str) -> bool:
+    """Print ``text``; a closed downstream pipe (``| head``) is a
+    normal way to consume this CLI, not an error.  Returns False when
+    the pipe is gone so callers can stop producing."""
+    try:
+        print(text)
+        return True
+    except BrokenPipeError:
+        # Reopen stdout on devnull so the interpreter's exit-time
+        # flush doesn't raise a second BrokenPipeError.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return False
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect REPRO_TRACE trace directories.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render phase/worker/slowest-case report"
+    )
+    report.add_argument(
+        "sources", nargs="+",
+        help="trace directories or .jsonl files to merge and report on",
+    )
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="how many slowest cases to list (default 10)",
+    )
+
+    merge = sub.add_parser(
+        "merge", help="merge traces into one ordered JSONL stream"
+    )
+    merge.add_argument(
+        "sources", nargs="+",
+        help="trace directories or .jsonl files to merge",
+    )
+    merge.add_argument(
+        "--out", default=None,
+        help="output file (default: stdout)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        try:
+            _emit(render_report(*args.sources, top=args.top))
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    if args.command == "merge":
+        try:
+            records = merge_traces(*args.sources)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        lines = (
+            json.dumps(r, separators=(",", ":"), default=str)
+            for r in records
+        )
+        if args.out:
+            path = Path(args.out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                "".join(line + "\n" for line in lines), encoding="utf-8"
+            )
+        else:
+            for line in lines:
+                if not _emit(line):
+                    break
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,371 @@
+"""Trace analysis: merge, aggregate and render JSONL trace directories.
+
+A traced run (``REPRO_TRACE=dir``) leaves one JSONL file per process in
+the trace directory.  :func:`merge_traces` folds any mix of
+directories, files and already-loaded records into one deterministic
+stream -- ordering is by ``(t, worker, run, seq)``, so the merge is
+invariant to file enumeration order and to how records were split
+across files.  On top of the merged stream sit the aggregations the
+``python -m repro.obs report`` CLI renders:
+
+* :func:`phase_breakdown` -- span count/total/mean/max per span name,
+* :func:`worker_case_counts` -- per-worker case outcomes (these
+  reconstruct the shard fleet's DrainReport tallies exactly),
+* :func:`slowest_cases` -- top-N slowest case spans,
+* :func:`worker_timeline` -- ASCII activity bars per worker,
+* :func:`summarize_metrics` -- fleet-wide sums of the per-process
+  metrics snapshots.
+
+Readers skip unparsable lines (the torn-tail tolerance of the result
+store's readers), so a trace from a crashed worker still merges.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "iter_trace_files",
+    "load_trace_file",
+    "merge_traces",
+    "phase_breakdown",
+    "render_report",
+    "slowest_cases",
+    "summarize_metrics",
+    "worker_case_counts",
+    "worker_timeline",
+]
+
+#: Merge order: wall-clock time, then worker / run / per-tracer seq as
+#: deterministic tie-breakers.  Never file order.
+_SORT_KEY = lambda r: (  # noqa: E731
+    float(r.get("t", 0.0)),
+    str(r.get("worker", "")),
+    str(r.get("run", "")),
+    int(r.get("seq", 0)),
+)
+
+
+def iter_trace_files(directory) -> List[Path]:
+    """Trace files under ``directory``, recursively, sorted by name."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"trace directory not found: {root}")
+    return sorted(p for p in root.rglob("*.jsonl") if p.is_file())
+
+
+def load_trace_file(path) -> List[dict]:
+    """Records of one trace file; unparsable lines are skipped."""
+    records: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def merge_traces(*sources) -> List[dict]:
+    """Merge trace sources into one deterministically-ordered stream.
+
+    Each source may be a trace directory, a single ``.jsonl`` file, or
+    an iterable of already-loaded record dicts.  The result is sorted
+    by ``(t, worker, run, seq)``, so merging ``[a, b]`` and ``[b, a]``
+    yields identical streams.
+    """
+    records: List[dict] = []
+    for source in sources:
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            if path.is_dir():
+                for file in iter_trace_files(path):
+                    records.extend(load_trace_file(file))
+            else:
+                records.extend(load_trace_file(path))
+        else:
+            records.extend(r for r in source if isinstance(r, Mapping))
+    records.sort(key=_SORT_KEY)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# aggregations
+
+
+def _spans(records: Iterable[Mapping]) -> List[Mapping]:
+    return [r for r in records if r.get("kind") == "span"]
+
+
+def phase_breakdown(records: Sequence[Mapping]) -> List[dict]:
+    """Per-span-name timing summary, sorted by total time descending.
+
+    Returns dicts with ``name``, ``count``, ``total_s``, ``mean_s``,
+    ``max_s`` -- the "where does the time go" table.
+    """
+    totals: Dict[str, List[float]] = {}
+    for rec in _spans(records):
+        try:
+            dur = float(rec.get("dur_s", 0.0))
+        except (TypeError, ValueError):
+            continue
+        totals.setdefault(str(rec.get("name", "?")), []).append(dur)
+    rows = [
+        {
+            "name": name,
+            "count": len(durs),
+            "total_s": sum(durs),
+            "mean_s": sum(durs) / len(durs),
+            "max_s": max(durs),
+        }
+        for name, durs in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return rows
+
+
+def worker_case_counts(
+    records: Sequence[Mapping],
+    *,
+    name: str = "drain_case",
+) -> Dict[str, Dict[str, int]]:
+    """Per-worker tallies of case-span outcomes.
+
+    Counts ``span`` records named ``name`` (the shard drain's per-case
+    span) grouped by worker and by their ``outcome`` field
+    (``evaluated`` / ``hit`` / ``failed``), plus a ``total``.  For a
+    traced fleet these reproduce each worker's DrainReport numbers.
+    """
+    counts: Dict[str, Dict[str, int]] = {}
+    for rec in _spans(records):
+        if rec.get("name") != name:
+            continue
+        worker = str(rec.get("worker", "?"))
+        outcome = str(rec.get("outcome", "unknown"))
+        per = counts.setdefault(worker, {"total": 0})
+        per["total"] += 1
+        per[outcome] = per.get(outcome, 0) + 1
+    return counts
+
+
+def slowest_cases(
+    records: Sequence[Mapping],
+    *,
+    top: int = 10,
+    name: str = "drain_case",
+) -> List[dict]:
+    """The ``top`` slowest case spans: ``case``/``worker``/``dur_s``."""
+    cases = []
+    for rec in _spans(records):
+        if rec.get("name") != name or "case" not in rec:
+            continue
+        try:
+            dur = float(rec.get("dur_s", 0.0))
+        except (TypeError, ValueError):
+            continue
+        cases.append({
+            "case": str(rec["case"]),
+            "worker": str(rec.get("worker", "?")),
+            "outcome": str(rec.get("outcome", "unknown")),
+            "dur_s": dur,
+        })
+    cases.sort(key=lambda c: -c["dur_s"])
+    return cases[:top]
+
+
+def worker_timeline(
+    records: Sequence[Mapping],
+    *,
+    width: int = 48,
+    name: Optional[str] = None,
+) -> List[Tuple[str, str]]:
+    """ASCII activity bars: one ``(worker, bar)`` row per worker.
+
+    The fleet's wall-clock envelope (earliest span start to latest span
+    end) maps onto ``width`` columns; a column is filled where the
+    worker had at least one open span.  Idle gaps show as dots, so
+    stragglers and lease-steal stalls are visible at a glance.
+    """
+    spans = [
+        r for r in _spans(records)
+        if name is None or r.get("name") == name
+    ]
+    intervals: Dict[str, List[Tuple[float, float]]] = {}
+    for rec in spans:
+        try:
+            t0 = float(rec["t"])
+            t1 = t0 + float(rec.get("dur_s", 0.0))
+        except (KeyError, TypeError, ValueError):
+            continue
+        intervals.setdefault(str(rec.get("worker", "?")), []).append((t0, t1))
+    if not intervals:
+        return []
+    lo = min(t0 for spans_ in intervals.values() for t0, _ in spans_)
+    hi = max(t1 for spans_ in intervals.values() for _, t1 in spans_)
+    window = max(hi - lo, 1e-9)
+    rows: List[Tuple[str, str]] = []
+    for worker in sorted(intervals):
+        cells = ["."] * width
+        for t0, t1 in intervals[worker]:
+            a = int((t0 - lo) / window * width)
+            b = int((t1 - lo) / window * width)
+            for i in range(max(a, 0), min(max(b, a) + 1, width)):
+                cells[i] = "#"
+        rows.append((worker, "".join(cells)))
+    return rows
+
+
+def summarize_metrics(records: Sequence[Mapping]) -> Dict[str, object]:
+    """Fleet-wide metrics: latest snapshot per process, summed.
+
+    A registry snapshot is *cumulative* for its process, and a process
+    may snapshot more than once (each drain flushes one, and the
+    tracer's close emits a final one) -- so only the latest ``metrics``
+    record per ``(host, pid)`` counts, and those are summed across
+    processes.  Gauges keep the last value in merge order; histogram
+    counts and sums are added bucket-wise (all registries share the
+    fixed default bounds).
+    """
+    latest: Dict[Tuple[str, str], Mapping] = {}
+    for rec in records:
+        if rec.get("kind") != "metrics":
+            continue
+        proc = (str(rec.get("host", "")), str(rec.get("pid", "")))
+        prior = latest.get(proc)
+        if prior is None or _SORT_KEY(rec) >= _SORT_KEY(prior):
+            latest[proc] = rec
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for _, rec in sorted(latest.items()):
+        data = rec.get("data")
+        if not isinstance(data, Mapping):
+            continue
+        for name, value in (data.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in (data.get("gauges") or {}).items():
+            gauges[name] = float(value)
+        for name, snap in (data.get("histograms") or {}).items():
+            if not isinstance(snap, Mapping):
+                continue
+            agg = histograms.get(name)
+            if agg is None:
+                histograms[name] = {
+                    "count": int(snap.get("count", 0)),
+                    "sum": float(snap.get("sum", 0.0)),
+                    "max": snap.get("max"),
+                    "counts": list(snap.get("counts") or []),
+                }
+                continue
+            agg["count"] += int(snap.get("count", 0))
+            agg["sum"] += float(snap.get("sum", 0.0))
+            snap_max = snap.get("max")
+            if snap_max is not None and (
+                agg["max"] is None or float(snap_max) > float(agg["max"])
+            ):
+                agg["max"] = snap_max
+            snap_counts = list(snap.get("counts") or [])
+            if len(snap_counts) == len(agg["counts"]):
+                agg["counts"] = [
+                    a + b for a, b in zip(agg["counts"], snap_counts)
+                ]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def render_report(*sources, top: int = 10) -> str:
+    """The full plain-text report for one or more trace sources."""
+    # Lazy: repro.eval.report lives in a package whose __init__ imports
+    # modules that import repro.obs -- deferring keeps obs standalone.
+    from repro.eval.report import format_table
+
+    records = merge_traces(*sources)
+    parts: List[str] = [
+        f"{len(records)} trace records "
+        f"({len({r.get('worker') for r in records})} workers)"
+    ]
+
+    phases = phase_breakdown(records)
+    if phases:
+        parts.append(format_table(
+            ("phase", "count", "total_s", "mean_s", "max_s"),
+            [
+                (p["name"], p["count"], p["total_s"], p["mean_s"], p["max_s"])
+                for p in phases
+            ],
+            title="phase-time breakdown",
+            float_format="{:.4f}",
+        ))
+
+    counts = worker_case_counts(records)
+    if counts:
+        outcomes = sorted(
+            {k for per in counts.values() for k in per} - {"total"}
+        )
+        parts.append(format_table(
+            ("worker", "total", *outcomes),
+            [
+                (worker, per["total"], *(per.get(o, 0) for o in outcomes))
+                for worker, per in sorted(counts.items())
+            ],
+            title="per-worker case counts",
+        ))
+
+    timeline = worker_timeline(records)
+    if timeline:
+        parts.append("\n".join(
+            ["per-worker timeline (# active, . idle)"]
+            + [f"  {worker}  {bar}" for worker, bar in timeline]
+        ))
+
+    slow = slowest_cases(records, top=top)
+    if slow:
+        parts.append(format_table(
+            ("case", "worker", "outcome", "dur_s"),
+            [
+                (c["case"], c["worker"], c["outcome"], c["dur_s"])
+                for c in slow
+            ],
+            title=f"top {len(slow)} slowest cases",
+            float_format="{:.4f}",
+        ))
+
+    metrics = summarize_metrics(records)
+    if metrics["counters"]:
+        parts.append(format_table(
+            ("counter", "value"),
+            sorted(metrics["counters"].items()),
+            title="fleet counters",
+        ))
+    if metrics["histograms"]:
+        parts.append(format_table(
+            ("histogram", "count", "sum_s", "mean_s", "max_s"),
+            [
+                (
+                    name,
+                    h["count"],
+                    h["sum"],
+                    (h["sum"] / h["count"]) if h["count"] else 0.0,
+                    float(h["max"]) if h["max"] is not None else 0.0,
+                )
+                for name, h in metrics["histograms"].items()
+            ],
+            title="latency histograms",
+            float_format="{:.4f}",
+        ))
+
+    return "\n\n".join(parts)

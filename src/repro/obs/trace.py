@@ -1,0 +1,333 @@
+"""Structured tracing: spans and events as per-run JSONL trace files.
+
+A :class:`Tracer` writes one JSONL file per process into a *trace
+directory* (conventionally a ``traces/`` dir next to the
+:class:`~repro.eval.store.ResultStore`).  Three record kinds:
+
+* ``span`` -- a named, timed region (``span("drain_case",
+  case=...)``): wall-clock start ``t``, monotonic duration ``dur_s``,
+  plus arbitrary JSON fields.
+* ``event`` -- a point-in-time occurrence (lease claims, reaps, engine
+  dispatch decisions).
+* ``metrics`` -- a snapshot of a :class:`~repro.obs.metrics
+  .MetricsRegistry`, emitted at tracer close so every worker's
+  counters ride in its own trace.
+
+Every record is stamped with process identity (``worker``, ``pid``,
+``host``), a per-tracer ``run`` id and a monotonic ``seq``, so
+:func:`~repro.obs.report.merge_traces` can order a multi-worker fleet's
+records deterministically regardless of file enumeration order.
+
+Writes follow the result store's atomicity contract: buffered records
+are flushed as one ``O_APPEND`` ``write`` of complete lines, so
+concurrent writer *processes* -- even ones sharing a single file path
+-- never tear a line, and readers tolerate a torn tail by skipping
+unparsable lines.
+
+**Disabled by default.**  :data:`NULL_TRACER` is what every
+instrumented call site gets unless tracing is switched on -- its
+``enabled`` attribute is ``False`` and every method is a no-op, so the
+hot path pays exactly one attribute check.  Enable by setting
+``REPRO_TRACE=<dir>`` in the environment (inherited by pool and fleet
+subprocesses, which is how a sharded run traces every worker) or by
+passing a directory/tracer through the ``trace=`` kwargs on
+:class:`~repro.eval.sweeps.SweepRunner`,
+:func:`~repro.eval.shard.drain_cases` and
+:func:`~repro.eval.dse.dse_search`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import socket
+import threading
+import uuid
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from .clock import clock, wall
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "TRACE_ENV",
+    "Tracer",
+    "default_tracer",
+    "resolve_tracer",
+    "tracing_enabled",
+    "worker_identity",
+]
+
+#: Environment knob: a directory path enables tracing process-wide.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def tracing_enabled() -> bool:
+    """Whether ``REPRO_TRACE`` asks this process to trace (and profile).
+
+    The same switch gates the engines' phase timings
+    (:class:`~repro.net.simulator.SimReport` ``phase_timings``), so one
+    environment variable turns on the whole observability layer.
+    """
+    return bool(os.environ.get(TRACE_ENV))
+
+
+def worker_identity() -> str:
+    """Default worker label: ``host:pid`` (matches the shard layer)."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class _NullSpan:
+    """Context manager that does nothing; shared singleton."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def add(self, **fields) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every method a no-op, ``enabled`` False.
+
+    Instrumented code holds one of these by default, so the only cost
+    of the observability layer on an untraced run is the
+    ``tracer.enabled`` attribute check guarding each call site.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name: str, t_wall: float, dur_s: float,
+                    **fields) -> None:
+        return None
+
+    def event(self, name: str, **fields) -> None:
+        return None
+
+    def metrics(self, registry) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Live span handle: measures on exit, records through its tracer."""
+
+    __slots__ = ("_tracer", "_name", "_fields", "_t_wall", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._fields = fields
+        self._t_wall = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t_wall = wall()
+        self._t0 = clock()
+        return self
+
+    def add(self, **fields) -> None:
+        """Attach fields discovered while the span is open."""
+        self._fields.update(fields)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._fields.setdefault("error", exc_type.__name__)
+        self._tracer.record_span(
+            self._name, self._t_wall, clock() - self._t0, **self._fields
+        )
+
+
+class Tracer(NullTracer):
+    """Buffered, thread-safe JSONL span/event emitter for one process.
+
+    Args:
+        directory: Trace directory; created if missing.  Each tracer
+            writes its own ``trace-<host>-<pid>-<run>.jsonl`` unless
+            ``filename`` pins a shared one (the append contract keeps
+            even a shared file line-atomic across processes).
+        worker: Identity stamped on every record; defaults to
+            ``host:pid`` so trace records and
+            :class:`~repro.eval.shard.DrainReport` workers correlate.
+        buffer_records: Records buffered before an ``O_APPEND`` flush.
+            Buffering amortises syscalls; the flush writes complete
+            lines only, so crash loss is bounded by the buffer and
+            tears are impossible.
+        filename: Optional explicit file name inside ``directory``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory,
+        *,
+        worker: str = "",
+        buffer_records: int = 64,
+        filename: Optional[str] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.worker = worker or worker_identity()
+        self.run = uuid.uuid4().hex[:12]
+        self.pid = os.getpid()
+        self.host = socket.gethostname()
+        self.path = self.directory / (
+            filename or f"trace-{self.host}-{self.pid}-{self.run}.jsonl"
+        )
+        self._buffer_records = max(1, int(buffer_records))
+        self._lock = threading.Lock()
+        self._pending: list = []
+        self._seq = 0
+        self._closed = False
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            # A caller-supplied worker field wins (the shard drain
+            # attributes spans to its --worker-id label); pid/host/run
+            # are hard process facts and always stamped.
+            record.setdefault("worker", self.worker)
+            record["pid"] = self.pid
+            record["host"] = self.host
+            record["run"] = self.run
+            record["seq"] = self._seq
+            self._seq += 1
+            self._pending.append(
+                json.dumps(record, separators=(",", ":"), default=str)
+            )
+            if len(self._pending) >= self._buffer_records:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._pending:
+            return
+        payload = ("\n".join(self._pending) + "\n").encode("utf-8")
+        self._pending.clear()
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+
+    # -- public API --------------------------------------------------------
+
+    def span(self, name: str, **fields) -> _Span:
+        """Context manager timing a named region."""
+        return _Span(self, name, fields)
+
+    def record_span(self, name: str, t_wall: float, dur_s: float,
+                    **fields) -> None:
+        """Record an already-measured span (for pre-timed call sites)."""
+        self._emit({
+            "kind": "span", "name": name,
+            "t": t_wall, "dur_s": dur_s, **fields,
+        })
+
+    def event(self, name: str, **fields) -> None:
+        self._emit({"kind": "event", "name": name, "t": wall(), **fields})
+
+    def metrics(self, registry) -> None:
+        """Snapshot a metrics registry into the trace."""
+        self._emit({
+            "kind": "metrics", "t": wall(), "data": registry.snapshot(),
+        })
+
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+
+
+# ---------------------------------------------------------------------------
+# process-default tracer (REPRO_TRACE)
+
+#: ``(pid, directory) -> Tracer``.  Keyed by pid so pool workers forked
+#: from a traced parent open their *own* file instead of appending
+#: buffered parent state through an inherited object.
+_DEFAULT: Dict[Tuple[int, str], Tracer] = {}
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_tracer() -> NullTracer:
+    """This process's env-configured tracer (``NULL_TRACER`` if unset).
+
+    Created on first use per ``(pid, REPRO_TRACE)``, closed (flushed,
+    metrics snapshot emitted) at interpreter exit, so pool workers and
+    fleet subprocesses that never explicitly manage a tracer still
+    leave complete trace files behind.
+    """
+    directory = os.environ.get(TRACE_ENV)
+    if not directory:
+        return NULL_TRACER
+    key = (os.getpid(), directory)
+    tracer = _DEFAULT.get(key)
+    if tracer is not None:
+        return tracer
+    with _DEFAULT_LOCK:
+        tracer = _DEFAULT.get(key)
+        if tracer is None:
+            tracer = _DEFAULT[key] = Tracer(directory)
+            atexit.register(_close_default, key)
+    return tracer
+
+
+def _close_default(key: Tuple[int, str]) -> None:
+    tracer = _DEFAULT.pop(key, None)
+    if tracer is not None:
+        from .metrics import REGISTRY
+
+        if not REGISTRY.empty():
+            tracer.metrics(REGISTRY)
+        tracer.close()
+
+
+def resolve_tracer(trace=None, *, worker: str = "") -> NullTracer:
+    """Normalise a ``trace=`` kwarg into a tracer.
+
+    ``None`` defers to the environment (:func:`default_tracer`); a
+    tracer instance passes through; a path string/``Path`` opens a new
+    :class:`Tracer` on that directory.  ``worker`` labels a
+    newly-opened tracer only -- an existing tracer keeps its identity.
+    """
+    if trace is None:
+        return default_tracer()
+    if isinstance(trace, NullTracer):
+        return trace
+    return Tracer(trace, worker=worker)

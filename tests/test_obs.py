@@ -1,0 +1,533 @@
+"""Unit tests: the repro.obs tracing/metrics/report subsystem."""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKET_BOUNDS_S,
+    NULL_TRACER,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Stopwatch,
+    StreamingStats,
+    Tracer,
+    default_tracer,
+    merge_traces,
+    phase_breakdown,
+    render_report,
+    resolve_tracer,
+    slowest_cases,
+    summarize_metrics,
+    tracing_enabled,
+    worker_case_counts,
+    worker_timeline,
+)
+from repro.obs.report import load_trace_file
+from repro.obs.__main__ import main as obs_main
+
+
+# ---------------------------------------------------------------------------
+# clock
+
+
+class TestStopwatch:
+    def test_elapsed_grows(self):
+        watch = Stopwatch()
+        a = watch.elapsed_s
+        b = watch.elapsed_s
+        assert 0.0 <= a <= b
+
+    def test_expired(self):
+        watch = Stopwatch()
+        assert not watch.expired(None)
+        assert not watch.expired(1e9)
+        assert watch.expired(-1.0)
+
+    def test_restart(self):
+        watch = Stopwatch()
+        watch.t0 -= 100.0
+        assert watch.elapsed_s > 99.0
+        watch.restart()
+        assert watch.elapsed_s < 10.0
+
+
+# ---------------------------------------------------------------------------
+# metrics
+
+
+class TestStreamingStats:
+    def test_basic(self):
+        stats = StreamingStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.add(v)
+        assert stats.count == 3
+        assert stats.sum == 6.0
+        assert stats.mean == 2.0
+        assert stats.min == 1.0
+        assert stats.max == 3.0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(StreamingStats().mean)
+
+    def test_neumaier_survives_adversarial_stream(self):
+        # 1e16 + many tiny addends: naive summation loses them all.
+        stats = StreamingStats()
+        stats.add(1e16)
+        for _ in range(1000):
+            stats.add(0.1)
+        stats.add(-1e16)
+        assert stats.sum == pytest.approx(100.0, abs=1e-9)
+
+    def test_neumaier_large_addend_after_small_sum(self):
+        # The Neumaier branch (addend larger than the running sum).
+        stats = StreamingStats()
+        stats.add(1.0)
+        stats.add(1e100)
+        stats.add(-1e100)
+        assert stats.sum == 1.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.stats.sum == pytest.approx(555.5)
+
+    def test_edge_value_overflows_to_next_bucket(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [0, 1, 0]
+
+    def test_non_finite_dropped(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(float("nan"))
+        h.observe(float("inf"))
+        assert h.count == 0
+        assert h.counts == [0, 0]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="ascend"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_default_bounds_cover_microseconds_to_minutes(self):
+        assert LATENCY_BUCKET_BOUNDS_S[0] == pytest.approx(1e-6)
+        assert LATENCY_BUCKET_BOUNDS_S[-1] > 60.0
+
+    def test_snapshot(self):
+        h = Histogram("h", bounds=(1.0,))
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["counts"] == [1, 0]
+        assert snap["min"] == 0.5
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.empty()
+        c = reg.counter("n")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("n") is c
+        assert c.value == 5
+        assert not reg.empty()
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7.0
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        json.dumps(snap)  # JSON-ready
+        reg.reset()
+        assert reg.empty()
+
+
+# ---------------------------------------------------------------------------
+# tracer
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("x", a=1) as span:
+            span.add(b=2)
+        tracer.record_span("x", 0.0, 0.0)
+        tracer.event("e")
+        tracer.metrics(MetricsRegistry())
+        tracer.flush()
+        tracer.close()
+
+    def test_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestTracer:
+    def test_span_roundtrip(self, tmp_path):
+        with Tracer(tmp_path, worker="w0", buffer_records=1) as tracer:
+            with tracer.span("phase", case="c1") as span:
+                span.add(extra=7)
+        records = load_trace_file(tracer.path)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["kind"] == "span"
+        assert rec["name"] == "phase"
+        assert rec["case"] == "c1"
+        assert rec["extra"] == 7
+        assert rec["worker"] == "w0"
+        assert rec["dur_s"] >= 0.0
+        assert {"pid", "host", "run", "seq", "t"} <= set(rec)
+
+    def test_span_records_error_type(self, tmp_path):
+        tracer = Tracer(tmp_path, buffer_records=1)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        tracer.close()
+        (rec,) = load_trace_file(tracer.path)
+        assert rec["error"] == "RuntimeError"
+
+    def test_buffering_flushes_on_close(self, tmp_path):
+        tracer = Tracer(tmp_path, buffer_records=1000)
+        tracer.event("e1")
+        assert not tracer.path.exists() or not load_trace_file(tracer.path)
+        tracer.close()
+        assert len(load_trace_file(tracer.path)) == 1
+
+    def test_caller_worker_field_wins(self, tmp_path):
+        tracer = Tracer(tmp_path, worker="tracer-id", buffer_records=1)
+        tracer.event("claim", worker="shard-3")
+        tracer.close()
+        (rec,) = load_trace_file(tracer.path)
+        assert rec["worker"] == "shard-3"
+
+    def test_seq_is_monotonic(self, tmp_path):
+        tracer = Tracer(tmp_path, buffer_records=4)
+        for i in range(10):
+            tracer.event("e", i=i)
+        tracer.close()
+        seqs = [r["seq"] for r in load_trace_file(tracer.path)]
+        assert seqs == list(range(10))
+
+    def test_metrics_record(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("cases_evaluated").inc(3)
+        tracer = Tracer(tmp_path, buffer_records=1)
+        tracer.metrics(reg)
+        tracer.close()
+        (rec,) = load_trace_file(tracer.path)
+        assert rec["kind"] == "metrics"
+        assert rec["data"]["counters"] == {"cases_evaluated": 3}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        tracer = Tracer(tmp_path, buffer_records=1)
+        tracer.event("good")
+        tracer.close()
+        with open(tracer.path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "event", "name": "torn...')
+        records = load_trace_file(tracer.path)
+        assert [r["name"] for r in records] == ["good"]
+
+
+class TestDefaultTracer:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not tracing_enabled()
+        assert default_tracer() is NULL_TRACER
+
+    def test_env_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        assert tracing_enabled()
+        tracer = default_tracer()
+        assert tracer.enabled
+        assert default_tracer() is tracer  # cached per (pid, dir)
+        assert tracer.directory == tmp_path
+
+    def test_resolve(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert resolve_tracer(None) is NULL_TRACER
+        passthrough = NullTracer()
+        assert resolve_tracer(passthrough) is passthrough
+        opened = resolve_tracer(tmp_path, worker="w9")
+        assert opened.enabled and opened.worker == "w9"
+        opened.close()
+
+
+def _emit_worker(directory: str, filename: str, worker: str, n: int) -> None:
+    tracer = Tracer(directory, worker=worker, filename=filename,
+                    buffer_records=7)
+    for i in range(n):
+        tracer.event("tick", i=i, payload="x" * 200)
+    tracer.close()
+
+
+class TestConcurrentEmission:
+    def test_multiprocess_shared_file_no_torn_lines(self, tmp_path):
+        # Several processes appending to ONE file: every line must still
+        # parse and every record must arrive (the O_APPEND contract).
+        ctx = mp.get_context("spawn")
+        workers = 4
+        per_worker = 50
+        procs = [
+            ctx.Process(
+                target=_emit_worker,
+                args=(str(tmp_path), "shared.jsonl", f"w{i}", per_worker),
+            )
+            for i in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        raw = (tmp_path / "shared.jsonl").read_text(encoding="utf-8")
+        lines = [line for line in raw.split("\n") if line]
+        records = [json.loads(line) for line in lines]  # no torn lines
+        assert len(records) == workers * per_worker
+        by_worker = {}
+        for rec in records:
+            by_worker.setdefault(rec["worker"], []).append(rec["i"])
+        assert set(by_worker) == {f"w{i}" for i in range(workers)}
+        for seen in by_worker.values():
+            assert sorted(seen) == list(range(per_worker))
+
+
+# ---------------------------------------------------------------------------
+# merge + aggregation
+
+
+def _rec(t, worker, seq, **fields):
+    rec = {"kind": "span", "t": t, "worker": worker, "run": worker,
+           "seq": seq, "dur_s": 0.0}
+    rec.update(fields)
+    return rec
+
+
+class TestMergeTraces:
+    def test_order_invariant(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        recs_a = [_rec(2.0, "w0", 0, name="x"), _rec(1.0, "w0", 1, name="y")]
+        recs_b = [_rec(1.5, "w1", 0, name="z")]
+        a.write_text("\n".join(json.dumps(r) for r in recs_a) + "\n")
+        b.write_text("\n".join(json.dumps(r) for r in recs_b) + "\n")
+        ab = merge_traces(a, b)
+        ba = merge_traces(b, a)
+        assert ab == ba
+        assert [r["t"] for r in ab] == [1.0, 1.5, 2.0]
+
+    def test_directory_and_iterable_sources(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        f = tmp_path / "sub" / "t.jsonl"
+        f.write_text(json.dumps(_rec(1.0, "w0", 0, name="a")) + "\n")
+        merged = merge_traces(tmp_path, [_rec(0.5, "w1", 0, name="b")])
+        assert [r["name"] for r in merged] == ["b", "a"]
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            merge_traces(tmp_path / "nope")
+
+    def test_same_timestamp_ties_break_on_worker_then_seq(self):
+        records = [
+            _rec(1.0, "w1", 0, name="c"),
+            _rec(1.0, "w0", 1, name="b"),
+            _rec(1.0, "w0", 0, name="a"),
+        ]
+        merged = merge_traces(records)
+        assert [r["name"] for r in merged] == ["a", "b", "c"]
+
+
+class TestAggregations:
+    def test_phase_breakdown(self):
+        records = [
+            _rec(0.0, "w0", 0, name="drain", dur_s=2.0),
+            _rec(0.1, "w0", 1, name="case", dur_s=0.5),
+            _rec(0.2, "w0", 2, name="case", dur_s=1.5),
+        ]
+        rows = phase_breakdown(records)
+        assert [r["name"] for r in rows] == ["case", "drain"]
+        case = rows[0]
+        assert case["count"] == 2
+        assert case["total_s"] == pytest.approx(2.0)
+        assert case["mean_s"] == pytest.approx(1.0)
+        assert case["max_s"] == pytest.approx(1.5)
+
+    def test_worker_case_counts(self):
+        records = [
+            _rec(0.0, "w0", 0, name="drain_case", outcome="evaluated"),
+            _rec(0.1, "w0", 1, name="drain_case", outcome="hit"),
+            _rec(0.2, "w1", 0, name="drain_case", outcome="evaluated"),
+            _rec(0.3, "w1", 1, name="other"),
+        ]
+        counts = worker_case_counts(records)
+        assert counts == {
+            "w0": {"total": 2, "evaluated": 1, "hit": 1},
+            "w1": {"total": 1, "evaluated": 1},
+        }
+
+    def test_slowest_cases(self):
+        records = [
+            _rec(0.0, "w0", 0, name="drain_case", case="slow", dur_s=3.0),
+            _rec(0.1, "w0", 1, name="drain_case", case="fast", dur_s=0.1),
+        ]
+        slow = slowest_cases(records, top=1)
+        assert len(slow) == 1
+        assert slow[0]["case"] == "slow"
+
+    def test_worker_timeline(self):
+        records = [
+            _rec(0.0, "w0", 0, name="case", dur_s=1.0),
+            _rec(1.0, "w1", 0, name="case", dur_s=1.0),
+        ]
+        rows = worker_timeline(records, width=10)
+        assert [w for w, _ in rows] == ["w0", "w1"]
+        # w0 active early, w1 active late.
+        assert rows[0][1][0] == "#"
+        assert rows[1][1][-1] == "#"
+        assert worker_timeline([]) == []
+
+    def test_summarize_metrics_latest_snapshot_per_process(self):
+        # Cumulative snapshots: only the latest per (host, pid) counts.
+        def metrics(t, pid, seq, value):
+            return {
+                "kind": "metrics", "t": t, "host": "h", "pid": pid,
+                "run": "r", "seq": seq,
+                "data": {"counters": {"cases_evaluated": value}},
+            }
+
+        records = [
+            metrics(1.0, 1, 0, 5),
+            metrics(2.0, 1, 1, 9),   # supersedes the first snapshot
+            metrics(1.5, 2, 0, 4),
+        ]
+        summary = summarize_metrics(records)
+        assert summary["counters"]["cases_evaluated"] == 13
+
+    def test_summarize_metrics_histograms_added_bucketwise(self):
+        def snap(count, counts, total, mx):
+            return {"count": count, "sum": total, "max": mx,
+                    "counts": counts}
+
+        records = [
+            {"kind": "metrics", "t": 1.0, "host": "h", "pid": 1, "seq": 0,
+             "data": {"histograms": {"lat": snap(2, [1, 1], 0.3, 0.2)}}},
+            {"kind": "metrics", "t": 1.0, "host": "h", "pid": 2, "seq": 0,
+             "data": {"histograms": {"lat": snap(1, [0, 1], 0.5, 0.5)}}},
+        ]
+        summary = summarize_metrics(records)
+        lat = summary["histograms"]["lat"]
+        assert lat["count"] == 3
+        assert lat["counts"] == [1, 2]
+        assert lat["sum"] == pytest.approx(0.8)
+        assert lat["max"] == 0.5
+
+
+# ---------------------------------------------------------------------------
+# report rendering + CLI
+
+
+def _write_sample_trace(directory) -> None:
+    tracer = Tracer(directory, worker="w0", buffer_records=1)
+    tracer.record_span("drain_case", 1.0, 0.2, case="c1", outcome="evaluated")
+    tracer.record_span("drain_case", 1.3, 0.1, case="c2", outcome="hit")
+    reg = MetricsRegistry()
+    reg.counter("cases_evaluated").inc()
+    reg.histogram("case_latency_s").observe(0.2)
+    tracer.metrics(reg)
+    tracer.close()
+
+
+class TestRenderReport:
+    def test_sections_present(self, tmp_path):
+        _write_sample_trace(tmp_path)
+        out = render_report(tmp_path)
+        assert "phase-time breakdown" in out
+        assert "per-worker case counts" in out
+        assert "per-worker timeline" in out
+        assert "slowest cases" in out
+        assert "fleet counters" in out
+        assert "latency histograms" in out
+        assert "drain_case" in out
+
+    def test_empty_trace(self, tmp_path):
+        out = render_report([])
+        assert "0 trace records" in out
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        _write_sample_trace(tmp_path)
+        assert obs_main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase-time breakdown" in out
+
+    def test_report_missing_dir(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope")]) != 0
+
+    def test_merge_command(self, tmp_path, capsys):
+        _write_sample_trace(tmp_path / "t1")
+        _write_sample_trace(tmp_path / "t2")
+        out_path = tmp_path / "merged.jsonl"
+        assert obs_main([
+            "merge", str(tmp_path / "t1"), str(tmp_path / "t2"),
+            "--out", str(out_path),
+        ]) == 0
+        merged = load_trace_file(out_path)
+        assert len(merged) == 6
+        assert merged == merge_traces(merged)  # already in merge order
+
+    def test_piped_into_head_exits_cleanly(self, tmp_path):
+        # `repro.obs merge big-trace | head` closes the pipe early;
+        # the CLI must exit 0 instead of dying on BrokenPipeError.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        path = tmp_path / "trace-h-1-r.jsonl"
+        with path.open("w") as fh:
+            for i in range(20000):  # overflow the 64 KiB pipe buffer
+                fh.write(json.dumps({
+                    "kind": "event", "name": "x", "t": float(i),
+                    "seq": i, "worker": "w", "run": "r",
+                    "pid": 1, "host": "h",
+                }) + "\n")
+        src = str(Path(repro.__file__).resolve().parents[1])
+        script = (
+            "set -o pipefail; "
+            f"{sys.executable} -m repro.obs merge {tmp_path} "
+            "| head -n 1 > /dev/null"
+        )
+        proc = subprocess.run(
+            ["bash", "-c", script],
+            env={**os.environ, "PYTHONPATH": src},
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr

@@ -54,6 +54,27 @@ class TestRatioSeries:
         assert "1.50x" in out
         assert "2.00x" in out
 
+    def test_empty_series_is_header_only(self):
+        out = format_ratio_series("base", [])
+        assert out == "normalised to base (=1.00), metric: ratio"
+
+    def test_custom_metric_label(self):
+        out = format_ratio_series("base", [("a", 1.0)], metric="energy")
+        assert "metric: energy" in out
+
+    def test_one_line_per_entry(self):
+        ratios = [("a", 0.5), ("b", 1.0), ("c", 2.0)]
+        out = format_ratio_series("base", ratios)
+        lines = out.split("\n")
+        assert len(lines) == 1 + len(ratios)
+        assert lines[1].endswith("0.50x")
+
+    def test_long_names_still_render(self):
+        out = format_ratio_series(
+            "base", [("a-very-long-architecture-name", 1.25)]
+        )
+        assert "a-very-long-architecture-name: 1.25x" in out
+
 
 class TestRatioHistory:
     def test_roundtrip_appends(self, tmp_path):
@@ -184,3 +205,24 @@ class TestFormatShardProgress:
         assert format_shard_progress(0, 2, label="gen 3").startswith(
             "gen 3 ["
         )
+
+    def test_partial_fill_never_rounds_to_full(self):
+        from repro.eval.report import format_shard_progress
+
+        art = format_shard_progress(7, 8, width=8)
+        assert "[#######.]" in art and "(87%)" in art
+
+    def test_overshoot_clamps_to_width(self):
+        # A done count past total (duplicate landings) must not grow
+        # the bar beyond its width.
+        from repro.eval.report import format_shard_progress
+
+        art = format_shard_progress(10, 8, width=8)
+        assert "[########]" in art
+        assert "10/8" in art
+
+    def test_zero_done_is_all_dots(self):
+        from repro.eval.report import format_shard_progress
+
+        art = format_shard_progress(0, 5, width=5)
+        assert "[.....]" in art and "0/5 (0%)" in art
