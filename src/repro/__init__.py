@@ -56,7 +56,11 @@ from .params import (
 # 1.3.0: engine tiers epochs-par/epochs-jit and the params.sim_engine
 # knob the evaluators consume -- cached results predate the engine
 # field and must re-evaluate.
-__version__ = "1.3.0"
+# 1.4.0: cross-layer batched task evaluation (evaluate_task rides
+# multicast_step_cost_steps + layer_compute_vec) and the corrected
+# payload-weighted hop recombination -- weighted_hops changed below
+# the evaluator layer, so cached mix results must re-evaluate.
+__version__ = "1.4.0"
 
 __all__ = [
     "ContiguousMapper",

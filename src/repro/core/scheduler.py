@@ -12,11 +12,15 @@ completion, and account utilisation over time.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable, Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple,
+)
 
 from ..net.perf import TaskPerf, evaluate_task
 from ..noi.topology import Topology
+from ..obs.metrics import REGISTRY
 from ..pim.allocation import AllocationPlan, plan_allocation
 from ..pim.chiplet import ChipletSpec
 from ..workloads.tasks import DNNTask
@@ -111,6 +115,13 @@ class SystemScheduler:
             otherwise ever be placed (e.g. strict hop budget with an
             empty system).  ``None`` re-uses ``mapper`` without change,
             meaning such tasks raise.
+        memoize: Reuse :class:`TaskPerf` results across tasks that share
+            (model, placement, spec).  Table II mixes repeat each DNN
+            many times and the mapper recycles footprints as chiplets
+            free up, so the Nth identical task becomes a dict lookup.
+            Safe because ``evaluate_task`` is a pure function of the
+            key (the memo lives for the scheduler's lifetime, spanning
+            ``run`` calls); disable to force a cold evaluation per task.
     """
 
     def __init__(
@@ -120,11 +131,46 @@ class SystemScheduler:
         *,
         spec: Optional[ChipletSpec] = None,
         fallback_mapper: Optional[Mapper] = None,
+        memoize: bool = True,
     ) -> None:
         self.topology = topology
         self.mapper = mapper
         self.spec = spec or ChipletSpec.from_params()
         self.fallback_mapper = fallback_mapper
+        self.memoize = memoize
+        self._perf_memo: Dict[
+            Tuple[str, str, Tuple[int, ...], ChipletSpec], TaskPerf
+        ] = {}
+
+    def _evaluate(
+        self,
+        task: DNNTask,
+        plan: AllocationPlan,
+        placement: TaskPlacement,
+    ) -> TaskPerf:
+        """Evaluate (or recall) the task's performance on its placement."""
+        if not self.memoize:
+            return evaluate_task(
+                self.topology, task.model, plan, placement.chiplet_ids,
+                task_id=task.task_id, spec=self.spec,
+            )
+        key = (
+            task.model.name, task.model.dataset,
+            tuple(placement.chiplet_ids), self.spec,
+        )
+        perf = self._perf_memo.get(key)
+        if perf is None:
+            REGISTRY.counter("sched_taskperf_cache_misses").inc()
+            perf = evaluate_task(
+                self.topology, task.model, plan, placement.chiplet_ids,
+                task_id=task.task_id, spec=self.spec,
+            )
+            self._perf_memo[key] = perf
+            return perf
+        REGISTRY.counter("sched_taskperf_cache_hits").inc()
+        if perf.task_id != task.task_id:
+            perf = replace(perf, task_id=task.task_id)
+        return perf
 
     def run(self, tasks: Sequence[DNNTask]) -> ScheduleResult:
         """Schedule ``tasks`` FIFO until all complete.
@@ -133,7 +179,7 @@ class SystemScheduler:
             ValueError: If a task needs more chiplets than the system has.
         """
         plans: Dict[str, AllocationPlan] = {}
-        queue: List[DNNTask] = list(tasks)
+        queue: Deque[DNNTask] = deque(tasks)
         n = self.topology.num_chiplets
         for task in queue:
             plan = plans.get(task.model.name)
@@ -180,15 +226,8 @@ class SystemScheduler:
                             f"idle system (needs {plan.num_chiplets} of {n})"
                         )
                     break
-                queue.pop(0)
-                perf = evaluate_task(
-                    self.topology,
-                    task.model,
-                    plan,
-                    placement.chiplet_ids,
-                    task_id=task.task_id,
-                    spec=self.spec,
-                )
+                queue.popleft()
+                perf = self._evaluate(task, plan, placement)
                 duration = max(1, perf.latency_cycles)
                 scheduled = ScheduledTask(
                     placement=placement,

@@ -91,6 +91,42 @@ def mapper_for(name: str, num_chiplets: int = NUM_CHIPLETS):
     return GreedyMapper(topology_for(name, num_chiplets))
 
 
+def mix_task_placements(
+    arch: str,
+    mix_name: str,
+    num_chiplets: int = NUM_CHIPLETS,
+) -> List[Tuple[object, object, Tuple[int, ...]]]:
+    """Idle-system ``(model, plan, chiplet_ids)`` per distinct mix model.
+
+    Places each distinct DNN of a Table II mix once on an empty
+    ``arch`` system with the paper's mapper for that architecture --
+    the (model, placement) grid the task-evaluation benches and the
+    batched-vs-per-layer equivalence tests run over.  Models that do
+    not fit ``num_chiplets`` (or that the mapper rejects) are skipped.
+    """
+    from ..pim.allocation import plan_allocation
+
+    spec = ChipletSpec.from_params()
+    mapper = mapper_for(arch, num_chiplets)
+    out: List[Tuple[object, object, Tuple[int, ...]]] = []
+    seen = set()
+    for task in mix_by_name(mix_name).tasks():
+        model = task.model
+        if (model.name, model.dataset) in seen:
+            continue
+        seen.add((model.name, model.dataset))
+        plan = plan_allocation(model, spec)
+        if plan.num_chiplets > num_chiplets:
+            continue
+        placement = mapper.map_task(
+            task.task_id, model, plan, frozenset(range(num_chiplets))
+        )
+        if placement is None:
+            continue
+        out.append((model, plan, placement.chiplet_ids))
+    return out
+
+
 @lru_cache(maxsize=64)
 def schedule(arch: str, mix_name: str,
              num_chiplets: int = NUM_CHIPLETS) -> ScheduleResult:

@@ -32,7 +32,7 @@ from .flowcontrol import (
     LinkTelemetry,
     link_telemetry,
 )
-from .perf import TaskPerf, evaluate_task
+from .perf import TaskPerf, evaluate_task, evaluate_task_perlayer
 from .routing import (
     LinkQueueIndex,
     RoutingTables,
@@ -54,6 +54,7 @@ from .simulator import (
 from .vectorized import (
     communication_cost_vec,
     multicast_step_cost_pergroup,
+    multicast_step_cost_steps,
     multicast_step_cost_vec,
     traffic_matrix_cost,
     traffic_matrix_to_transfers,
@@ -81,10 +82,12 @@ __all__ = [
     "communication_cost",
     "communication_cost_vec",
     "evaluate_task",
+    "evaluate_task_perlayer",
     "flits_for_bytes",
     "message_array",
     "multicast_step_cost",
     "multicast_step_cost_pergroup",
+    "multicast_step_cost_steps",
     "multicast_step_cost_vec",
     "path_pipeline_cycles",
     "simulate",

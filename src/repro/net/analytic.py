@@ -185,6 +185,10 @@ class CommReport:
         packet_latency_sum: Sum over packets of their individual latency
             (pipeline + packet serialisation); divide by ``packet_count``
             for the average packet latency, the Fig. 3 metric.
+        payload_volume: Sum of per-destination payload bytes -- the
+            denominator of ``weighted_hops``.  Recombining reports as
+            ``sum(weighted_hops * payload_volume) / sum(payload_volume)``
+            reproduces the weighted mean over the union of transfers.
     """
 
     latency_cycles: int
@@ -194,6 +198,7 @@ class CommReport:
     weighted_hops: float
     packet_count: int = 0
     packet_latency_sum: int = 0
+    payload_volume: int = 0
 
     @property
     def mean_packet_latency(self) -> float:
@@ -247,6 +252,7 @@ def communication_cost(
         weighted_hops=(hop_weight / volume_total) if volume_total else 0.0,
         packet_count=packet_count,
         packet_latency_sum=packet_latency_sum,
+        payload_volume=volume_total,
     )
 
 
@@ -293,6 +299,7 @@ def _unicast_step_cost(
         weighted_hops=(hop_weight / volume_total) if volume_total else 0.0,
         packet_count=packet_count,
         packet_latency_sum=packet_latency_sum,
+        payload_volume=volume_total,
     )
 
 
@@ -371,4 +378,5 @@ def multicast_step_cost(
         weighted_hops=(hop_weight / volume_total) if volume_total else 0.0,
         packet_count=packet_count,
         packet_latency_sum=packet_latency_sum,
+        payload_volume=volume_total,
     )

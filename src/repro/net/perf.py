@@ -6,19 +6,35 @@ input activations stream in from the chiplets of its producer layers
 two overlap, so a layer costs ``max(comm, compute)`` and the task is the
 sum over layers.  The NoI-only components (what the paper's Figs. 3 and
 5 plot) are reported separately from compute.
+
+Two engines, per the repo's oracle convention:
+
+* :func:`evaluate_task` -- the production path.  All layers'
+  communication steps go through one
+  :func:`~repro.net.vectorized.multicast_step_cost_steps` call and all
+  layers' compute through one
+  :func:`~repro.pim.chiplet.layer_compute_vec` call; no per-layer
+  Python iteration.
+* :func:`evaluate_task_perlayer` -- the pinned reference: the original
+  per-layer loop.  ``tests/test_perf.py`` asserts the batched path
+  matches it bit-exactly on integer fields and to 1e-9 on floats.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..noi.topology import Topology
+from ..obs.metrics import REGISTRY
 from ..pim.allocation import AllocationPlan
-from ..pim.chiplet import ChipletSpec, layer_compute
+from ..pim.chiplet import ChipletSpec, layer_compute, layer_compute_vec
 from ..workloads.dnn import DNNModel
+from ..workloads.layers import Layer
 from .analytic import CommReport
-from .vectorized import multicast_step_cost_vec
+from .vectorized import multicast_step_cost_steps, multicast_step_cost_vec
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,41 @@ class TaskPerf:
         return self.total_energy_pj * self.latency_cycles
 
 
+def _incoming_groups(
+    model: DNNModel,
+    plan: AllocationPlan,
+    chiplet_ids: Sequence[int],
+    bytes_per_element: int,
+) -> Dict[int, List[Tuple[int, Tuple[int, ...], int]]]:
+    """Incoming multicasts per consumer layer, in physical chiplet ids.
+
+    Destinations co-located with the source chiplet are dropped (no NoI
+    traffic); groups whose destinations all vanish are dropped entirely.
+    """
+    incoming: Dict[int, List[Tuple[int, Tuple[int, ...], int]]] = {}
+    for group in plan.multicast_groups(model, bytes_per_element):
+        src_chip = chiplet_ids[group.src]
+        dst_chips = tuple(
+            chiplet_ids[d] for d in group.dsts
+            if chiplet_ids[d] != src_chip
+        )
+        if dst_chips:
+            incoming.setdefault(group.dst_layer, []).append(
+                (src_chip, dst_chips, group.payload_bytes)
+            )
+    return incoming
+
+
+def _validate_placement(
+    plan: AllocationPlan, chiplet_ids: Sequence[int]
+) -> None:
+    if len(chiplet_ids) != plan.num_chiplets:
+        raise ValueError(
+            f"placement has {len(chiplet_ids)} chiplets, plan needs "
+            f"{plan.num_chiplets}"
+        )
+
+
 def evaluate_task(
     topology: Topology,
     model: DNNModel,
@@ -80,7 +131,14 @@ def evaluate_task(
     spec: Optional[ChipletSpec] = None,
     bytes_per_element: int = 1,
 ) -> TaskPerf:
-    """Evaluate one mapped task.
+    """Evaluate one mapped task (cross-layer batched engine).
+
+    The whole task is two batched calls: every layer's incoming
+    multicast groups, tagged with the consumer layer's step id, go
+    through :func:`multicast_step_cost_steps` at once, and every
+    layer's compute through :func:`layer_compute_vec`; the per-layer
+    ``max(comm, compute)`` composition then reduces over arrays.
+    :func:`evaluate_task_perlayer` is the pinned per-layer reference.
 
     Args:
         topology: The NoI the task runs on.
@@ -95,25 +153,79 @@ def evaluate_task(
     Raises:
         ValueError: On plan/placement size mismatch.
     """
-    if len(chiplet_ids) != plan.num_chiplets:
-        raise ValueError(
-            f"placement has {len(chiplet_ids)} chiplets, plan needs "
-            f"{plan.num_chiplets}"
-        )
+    _validate_placement(plan, chiplet_ids)
     spec = spec or ChipletSpec.from_params()
+    incoming = _incoming_groups(model, plan, chiplet_ids, bytes_per_element)
 
-    # Group incoming multicasts by consumer layer, in physical ids.
-    incoming: Dict[int, List[Tuple[int, Tuple[int, ...], int]]] = {}
-    for group in plan.multicast_groups(model, bytes_per_element):
-        src_chip = chiplet_ids[group.src]
-        dst_chips = tuple(
-            chiplet_ids[d] for d in group.dsts
-            if chiplet_ids[d] != src_chip
-        )
-        if dst_chips:
-            incoming.setdefault(group.dst_layer, []).append(
-                (src_chip, dst_chips, group.payload_bytes)
-            )
+    from ..pim.allocation import layer_crossbar_allocation
+
+    layers: List[Layer] = list(model.weight_layers())
+    groups: List[Tuple[int, Tuple[int, ...], int]] = []
+    step_ids: List[int] = []
+    for step, layer in enumerate(layers):
+        layer_groups = incoming.get(layer.index, ())
+        groups.extend(layer_groups)
+        step_ids.extend([step] * len(layer_groups))
+    reports = multicast_step_cost_steps(
+        topology, groups, step_ids, len(layers)
+    )
+
+    crossbar_shares = layer_crossbar_allocation(model, plan, spec)
+    compute = layer_compute_vec(
+        layers,
+        [
+            max(1, len(plan.layer_chiplets.get(layer.index, ())))
+            for layer in layers
+        ],
+        spec,
+        crossbars_available=[
+            crossbar_shares.get(layer.index) for layer in layers
+        ],
+    )
+
+    n = len(layers)
+    comm_latency = np.fromiter(
+        (r.latency_cycles for r in reports), dtype=np.int64, count=n
+    )
+    hop_weight = sum(r.weighted_hops * r.payload_volume for r in reports)
+    volume_total = sum(r.payload_volume for r in reports)
+    REGISTRY.counter("task_eval_batched").inc()
+    return TaskPerf(
+        task_id=task_id or model.name,
+        model_name=model.name,
+        latency_cycles=int(
+            np.maximum(compute.latency_cycles, comm_latency).sum()
+        ),
+        noi_latency_cycles=int(comm_latency.sum()),
+        compute_latency_cycles=int(compute.latency_cycles.sum()),
+        noi_energy_pj=float(sum(r.energy_pj for r in reports)),
+        compute_energy_pj=float(compute.energy_pj.sum()),
+        weighted_hops=(hop_weight / volume_total) if volume_total else 0.0,
+        num_chiplets=plan.num_chiplets,
+        packet_count=sum(r.packet_count for r in reports),
+        packet_latency_sum=sum(r.packet_latency_sum for r in reports),
+    )
+
+
+def evaluate_task_perlayer(
+    topology: Topology,
+    model: DNNModel,
+    plan: AllocationPlan,
+    chiplet_ids: Sequence[int],
+    *,
+    task_id: str = "",
+    spec: Optional[ChipletSpec] = None,
+    bytes_per_element: int = 1,
+) -> TaskPerf:
+    """Per-layer reference engine for :func:`evaluate_task`.
+
+    One :func:`multicast_step_cost_vec` / :func:`layer_compute` call per
+    weighted layer -- the original evaluation loop, kept as the pinned
+    oracle (integer fields bit-exact, floats to 1e-9).
+    """
+    _validate_placement(plan, chiplet_ids)
+    spec = spec or ChipletSpec.from_params()
+    incoming = _incoming_groups(model, plan, chiplet_ids, bytes_per_element)
 
     from ..pim.allocation import layer_crossbar_allocation
 
@@ -130,8 +242,6 @@ def evaluate_task(
             layer, max(1, allocated), spec,
             crossbars_available=crossbar_shares.get(layer.index),
         )
-        # Batched engine; the scalar multicast_step_cost is the oracle
-        # (tests/test_vectorized.py asserts 1e-9 agreement).
         comm: CommReport = multicast_step_cost_vec(
             topology, incoming.get(layer.index, ())
         )
@@ -140,11 +250,15 @@ def evaluate_task(
         compute_total += compute.latency_cycles
         noi_energy += comm.energy_pj
         compute_energy += compute.energy_pj
-        hop_weight += comm.weighted_hops * comm.total_flits
-        volume_total += comm.total_flits
+        # Recombine the per-step payload-weighted means over their own
+        # denominator (payload volume); weighting by flits would mix
+        # bases and skew the task-level mean.
+        hop_weight += comm.weighted_hops * comm.payload_volume
+        volume_total += comm.payload_volume
         packet_count += comm.packet_count
         packet_latency_sum += comm.packet_latency_sum
 
+    REGISTRY.counter("task_eval_fallback").inc()
     return TaskPerf(
         task_id=task_id or model.name,
         model_name=model.name,

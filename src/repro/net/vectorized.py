@@ -16,7 +16,7 @@ accumulation order differs from the scalar loop, hence the tolerance.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +36,7 @@ _EMPTY_REPORT = CommReport(
     weighted_hops=0.0,
     packet_count=0,
     packet_latency_sum=0,
+    payload_volume=0,
 )
 
 
@@ -117,6 +118,7 @@ def communication_cost_vec(
         ),
         packet_count=int(packets.sum()),
         packet_latency_sum=int((packets * packet_latency).sum()),
+        payload_volume=volume,
     )
 
 
@@ -167,6 +169,7 @@ def unicast_step_cost_vec(
         packet_latency_sum=int(
             (packets * (pipeline + params.flits_per_packet)).sum()
         ),
+        payload_volume=volume,
     )
 
 
@@ -285,6 +288,243 @@ def multicast_step_cost_vec(
         packet_latency_sum=int(
             (packets * (deepest + params.flits_per_packet))[active].sum()
         ),
+        payload_volume=volume_total,
+    )
+
+
+def _segment_max_link_load(
+    seg: np.ndarray,
+    link: np.ndarray,
+    flits: np.ndarray,
+    num_links: int,
+    num_segments: int,
+) -> np.ndarray:
+    """Per-segment max link load from (segment, link, flits) triples.
+
+    Sums flits per distinct ``(segment, link)`` pair, then maxes within
+    each segment -- without materialising the dense
+    ``num_segments * num_links`` load matrix.
+    """
+    out = np.zeros(num_segments, dtype=np.int64)
+    if seg.size == 0:
+        return out
+    key, inv = np.unique(seg * num_links + link, return_inverse=True)
+    load = np.zeros(key.shape[0], dtype=np.int64)
+    np.add.at(load, inv, flits)
+    np.maximum.at(out, key // num_links, load)
+    return out
+
+
+def _step_reports(
+    num_steps: int,
+    has: np.ndarray,
+    latency: np.ndarray,
+    serial: np.ndarray,
+    energy: np.ndarray,
+    flits: np.ndarray,
+    hop_weight: np.ndarray,
+    volume: np.ndarray,
+    packets: np.ndarray,
+    packet_latency: np.ndarray,
+) -> List[CommReport]:
+    """Assemble per-step ``CommReport``s from segment-reduced arrays."""
+    reports: List[CommReport] = []
+    for s in range(num_steps):
+        if not has[s]:
+            reports.append(_EMPTY_REPORT)
+            continue
+        vol = int(volume[s])
+        reports.append(CommReport(
+            latency_cycles=int(latency[s]),
+            serial_latency_cycles=int(serial[s]),
+            energy_pj=float(energy[s]),
+            total_flits=int(flits[s]),
+            weighted_hops=(float(hop_weight[s]) / vol) if vol else 0.0,
+            packet_count=int(packets[s]),
+            packet_latency_sum=int(packet_latency[s]),
+            payload_volume=vol,
+        ))
+    return reports
+
+
+def _unicast_step_cost_steps(
+    topology: Topology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    payload: np.ndarray,
+    step: np.ndarray,
+    num_steps: int,
+) -> List[CommReport]:
+    """Steps variant of :func:`unicast_step_cost_vec` (filtered arrays)."""
+    t = topology.routing_tables()
+    t.check_reachable(src, dst, topology.name)
+    params = topology.params
+    num_links = t.num_directed_links
+
+    flits = _flits(payload, params.flit_bytes)
+    pair = src * t.num_nodes + dst
+    counts = t.route_indptr[pair + 1] - t.route_indptr[pair]
+    entries = t.route_links[concat_ranges(t.route_indptr[pair], counts)]
+    max_load = _segment_max_link_load(
+        np.repeat(step, counts), entries, np.repeat(flits, counts),
+        num_links, num_steps,
+    )
+
+    pipeline = t.pipeline_cycles[src, dst]
+    step_pipeline = np.zeros(num_steps, dtype=np.int64)
+    np.maximum.at(step_pipeline, step, pipeline)
+    has = np.zeros(num_steps, dtype=bool)
+    has[step] = True
+
+    step_serial = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_serial, step, pipeline + flits)
+    step_flits = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_flits, step, flits)
+    packets = _packets(payload, params.packet_bytes)
+    step_packets = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_packets, step, packets)
+    step_packet_latency = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(
+        step_packet_latency, step,
+        packets * (pipeline + params.flits_per_packet),
+    )
+    step_volume = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_volume, step, payload)
+    step_energy = np.bincount(
+        step, weights=flits * t.energy_pj_per_flit(src, dst),
+        minlength=num_steps,
+    )
+    step_hop_weight = np.bincount(
+        step, weights=(t.hops[src, dst] * payload).astype(np.float64),
+        minlength=num_steps,
+    )
+    return _step_reports(
+        num_steps, has, max_load + step_pipeline, step_serial,
+        step_energy, step_flits, step_hop_weight, step_volume,
+        step_packets, step_packet_latency,
+    )
+
+
+def multicast_step_cost_steps(
+    topology: Topology,
+    groups: Sequence[Tuple[int, Sequence[int], int]],
+    step_of_group: Sequence[int],
+    num_steps: int,
+) -> List[CommReport]:
+    """Evaluate many dataflow steps' multicast groups in one batched pass.
+
+    ``groups`` concatenates every step's ``(src, dsts, payload_bytes)``
+    groups; ``step_of_group[g]`` assigns group ``g`` to a step in
+    ``range(num_steps)`` (typically the consumer layer's position in
+    ``model.weight_layers()``).  Returns one :class:`CommReport` per
+    step, each equal to :func:`multicast_step_cost_vec` on that step's
+    groups alone -- integer fields exactly, floats to accumulation
+    order -- with the per-layer Python loop replaced by step-segmented
+    reductions: the cross-group ``group * L + link`` tree-dedup keys
+    already carry the step through the group id, so link loads, tree
+    energies and pipeline depths all fall out of one ``np.unique`` /
+    ``np.add.at`` / ``np.maximum.at`` pass over the whole task.
+
+    Steps with no effective traffic (no groups, or only self-destination
+    / zero-payload groups) get the zero report, matching the per-step
+    engines on an empty group list.
+    """
+    if num_steps < 0:
+        raise ValueError(f"num_steps must be >= 0, got {num_steps}")
+    step = np.asarray(step_of_group, dtype=np.int64).reshape(-1)
+    if step.shape[0] != len(groups):
+        raise ValueError(
+            f"step_of_group has {step.shape[0]} entries "
+            f"for {len(groups)} groups"
+        )
+    if step.size and (step.min() < 0 or step.max() >= num_steps):
+        raise ValueError(
+            f"step ids must lie in [0, {num_steps}), got "
+            f"[{int(step.min())}, {int(step.max())}]"
+        )
+    src, payload, pg, pdst = _groups_to_arrays(groups)
+    if pg.shape[0] == 0:
+        return [_EMPTY_REPORT] * num_steps
+    if not topology.multicast_capable:
+        return _unicast_step_cost_steps(
+            topology, src[pg], pdst, payload[pg], step[pg], num_steps
+        )
+
+    t = topology.routing_tables()
+    params = topology.params
+    t.check_reachable(src[pg], pdst, topology.name)
+    num_groups = src.shape[0]
+    num_links = t.num_directed_links
+
+    # Same cross-group tree dedup as multicast_step_cost_vec: the group
+    # id in the combined key keeps groups of different steps apart, so
+    # one np.unique builds every step's trees at once.
+    pair = src[pg] * t.num_nodes + pdst
+    counts = t.route_indptr[pair + 1] - t.route_indptr[pair]
+    entries = t.route_links[concat_ranges(t.route_indptr[pair], counts)]
+    key = np.unique(np.repeat(pg, counts) * num_links + entries)
+    tree_group = key // num_links
+    tree_link = key % num_links
+
+    flits = _flits(payload, params.flit_bytes)
+    active = np.zeros(num_groups, dtype=bool)
+    active[pg] = True
+    ga = np.flatnonzero(active)
+
+    max_load = _segment_max_link_load(
+        step[tree_group], tree_link, flits[tree_group],
+        num_links, num_steps,
+    )
+
+    tree_link_energy = np.bincount(
+        tree_group,
+        weights=t.link_energy_pj_per_flit[tree_link],
+        minlength=num_groups,
+    )
+    tree_router_energy = np.bincount(
+        tree_group,
+        weights=t.router_energy_pj_per_flit[t.link_v[tree_link]],
+        minlength=num_groups,
+    )
+    deepest = np.zeros(num_groups, dtype=np.int64)
+    np.maximum.at(deepest, pg, t.pipeline_cycles[src[pg], pdst])
+    step_deepest = np.zeros(num_steps, dtype=np.int64)
+    np.maximum.at(step_deepest, step[ga], deepest[ga])
+    has = np.zeros(num_steps, dtype=bool)
+    has[step[ga]] = True
+
+    group_energy = flits * (
+        t.router_energy_pj_per_flit[src]
+        + tree_router_energy
+        + tree_link_energy
+    )
+    packets = _packets(payload, params.packet_bytes)
+
+    step_serial = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_serial, step[ga], (deepest + flits)[ga])
+    step_flits = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_flits, step[ga], flits[ga])
+    step_packets = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_packets, step[ga], packets[ga])
+    step_packet_latency = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(
+        step_packet_latency, step[ga],
+        (packets * (deepest + params.flits_per_packet))[ga],
+    )
+    step_volume = np.zeros(num_steps, dtype=np.int64)
+    np.add.at(step_volume, step[pg], payload[pg])
+    step_energy = np.bincount(
+        step[ga], weights=group_energy[ga], minlength=num_steps
+    )
+    step_hop_weight = np.bincount(
+        step[pg],
+        weights=(t.hops[src[pg], pdst] * payload[pg]).astype(np.float64),
+        minlength=num_steps,
+    )
+    return _step_reports(
+        num_steps, has, max_load + step_deepest, step_serial,
+        step_energy, step_flits, step_hop_weight, step_volume,
+        step_packets, step_packet_latency,
     )
 
 
@@ -358,4 +598,5 @@ def multicast_step_cost_pergroup(
         weighted_hops=(hop_weight / volume_total) if volume_total else 0.0,
         packet_count=packet_count,
         packet_latency_sum=packet_latency_sum,
+        payload_volume=volume_total,
     )

@@ -63,6 +63,7 @@ __all__ = [
     "resolve_tracer",
     "slowest_cases",
     "summarize_metrics",
+    "task_eval_summary",
     "tracing_enabled",
     "wall",
     "worker_case_counts",
@@ -76,6 +77,7 @@ _REPORT_EXPORTS = {
     "render_report",
     "slowest_cases",
     "summarize_metrics",
+    "task_eval_summary",
     "worker_case_counts",
     "worker_timeline",
 }

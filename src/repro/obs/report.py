@@ -34,6 +34,7 @@ __all__ = [
     "render_report",
     "slowest_cases",
     "summarize_metrics",
+    "task_eval_summary",
     "worker_case_counts",
     "worker_timeline",
 ]
@@ -283,6 +284,34 @@ def summarize_metrics(records: Sequence[Mapping]) -> Dict[str, object]:
     }
 
 
+def task_eval_summary(
+    metrics: Mapping[str, object],
+) -> List[Tuple[str, object]]:
+    """Task-evaluation engine and cache rows from fleet counters.
+
+    Reads a :func:`summarize_metrics` result and extracts the
+    scheduler's TaskPerf-memo hit/miss counters and the
+    ``evaluate_task`` engine-path counters into display rows; empty
+    when the trace recorded no task evaluation.
+    """
+    counters = metrics.get("counters") or {}
+    rows: List[Tuple[str, object]] = []
+    hits = int(counters.get("sched_taskperf_cache_hits", 0))
+    misses = int(counters.get("sched_taskperf_cache_misses", 0))
+    if hits or misses:
+        rows.append(("taskperf cache hits", hits))
+        rows.append(("taskperf cache misses", misses))
+        rows.append(
+            ("taskperf cache hit rate", f"{hits / (hits + misses):.1%}")
+        )
+    batched = int(counters.get("task_eval_batched", 0))
+    fallback = int(counters.get("task_eval_fallback", 0))
+    if batched or fallback:
+        rows.append(("evaluate_task batched", batched))
+        rows.append(("evaluate_task per-layer", fallback))
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # rendering
 
@@ -350,6 +379,13 @@ def render_report(*sources, top: int = 10) -> str:
             ("counter", "value"),
             sorted(metrics["counters"].items()),
             title="fleet counters",
+        ))
+    task_eval = task_eval_summary(metrics)
+    if task_eval:
+        parts.append(format_table(
+            ("metric", "value"),
+            task_eval,
+            title="task evaluation",
         ))
     if metrics["histograms"]:
         parts.append(format_table(

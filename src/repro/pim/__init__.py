@@ -9,7 +9,14 @@ from .accuracy import (
     effective_noise,
 )
 from .allocation import AllocationPlan, ChipletLoad, LayerSlice, plan_allocation
-from .chiplet import ChipletSpec, LayerCompute, chiplets_required, layer_compute
+from .chiplet import (
+    ChipletSpec,
+    LayerCompute,
+    LayerComputeBatch,
+    chiplets_required,
+    layer_compute,
+    layer_compute_vec,
+)
 from .reram import (
     CrossbarSpec,
     conductance_window,
@@ -26,6 +33,7 @@ __all__ = [
     "ChipletSpec",
     "CrossbarSpec",
     "LayerCompute",
+    "LayerComputeBatch",
     "LayerSlice",
     "NOISE_SENSITIVITY",
     "accuracy_drop_pct",
@@ -35,6 +43,7 @@ __all__ = [
     "crossbars_for_weights",
     "effective_noise",
     "layer_compute",
+    "layer_compute_vec",
     "mvms_for_layer",
     "plan_allocation",
     "weight_noise_sigma",

@@ -98,6 +98,11 @@ class AllocationPlan:
         is the network input (boundary injection is identical for every
         NoI and cancels in comparisons).
 
+        The group list is a pure function of the (frozen) plan and
+        model, and every task evaluation needs it, so it is memoized on
+        the plan instance (identity-keyed on ``model``; the cache entry
+        keeps the model alive so ids cannot be recycled).
+
         Raises:
             ValueError: If ``model`` does not match the plan.
         """
@@ -105,6 +110,11 @@ class AllocationPlan:
             raise ValueError(
                 f"plan is for {self.model_name!r}, got model {model.name!r}"
             )
+        cache = self.__dict__.setdefault("_derived", {})
+        key = ("groups", id(model), bytes_per_element)
+        hit = cache.get(key)
+        if hit is not None and hit[0] is model:
+            return list(hit[1])
         out: List[MulticastGroup] = []
         for src_layer, dst_layer, volume in interlayer_traffic(
             model, bytes_per_element
@@ -127,6 +137,7 @@ class AllocationPlan:
                             dst_layer=dst_layer,
                         )
                     )
+        cache[key] = (model, tuple(out))
         return out
 
     def chiplet_traffic(
@@ -157,11 +168,20 @@ def layer_crossbar_allocation(
     replication: activation-heavy layers receive the chiplet's idle
     crossbars so the inference pipeline stays balanced.  Returns
     layer index -> crossbars available to that layer (>= 1).
+
+    Memoized on the plan instance like
+    :meth:`AllocationPlan.multicast_groups` (pure function of frozen
+    inputs, needed by every task evaluation).
     """
     from .chiplet import ChipletSpec as _Spec
     from .reram import mvms_for_layer
 
     spec = spec or _Spec.from_params()
+    cache = plan.__dict__.setdefault("_derived", {})
+    key = ("xbars", id(model), spec)
+    hit = cache.get(key)
+    if hit is not None and hit[0] is model:
+        return dict(hit[1])
     layers = {layer.index: layer for layer in model.layers}
     shares: Dict[int, float] = {}
     for load in plan.loads:
@@ -175,7 +195,9 @@ def layer_crossbar_allocation(
             shares[layer_index] = shares.get(layer_index, 0.0) + (
                 spec.crossbars * demand / total
             )
-    return {k: max(1, int(v)) for k, v in shares.items()}
+    out = {k: max(1, int(v)) for k, v in shares.items()}
+    cache[key] = (model, out)
+    return dict(out)
 
 
 def plan_allocation(

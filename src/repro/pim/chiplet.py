@@ -11,7 +11,9 @@ substitutions table).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..params import PIMParams
 from ..workloads.layers import Layer
@@ -107,6 +109,121 @@ def layer_compute(
         layer_name=layer.name,
         chiplets_used=chiplets_allocated,
         crossbars_used=parallel,
+        mvm_count=mvms,
+        latency_cycles=rounds * spec.crossbar.latency_cycles,
+        energy_pj=mvms * spec.crossbar.energy_pj,
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class LayerComputeBatch:
+    """Array-of-layers counterpart of :class:`LayerCompute`.
+
+    Row ``i`` holds :func:`layer_compute`'s result for ``layers[i]``;
+    ``__getitem__`` reconstructs the scalar record (the equivalence the
+    tests pin).
+    """
+
+    layer_names: Tuple[str, ...]
+    chiplets_used: np.ndarray
+    crossbars_used: np.ndarray
+    mvm_count: np.ndarray
+    latency_cycles: np.ndarray
+    energy_pj: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.layer_names)
+
+    def __getitem__(self, i: int) -> LayerCompute:
+        return LayerCompute(
+            layer_name=self.layer_names[i],
+            chiplets_used=int(self.chiplets_used[i]),
+            crossbars_used=int(self.crossbars_used[i]),
+            mvm_count=int(self.mvm_count[i]),
+            latency_cycles=int(self.latency_cycles[i]),
+            energy_pj=float(self.energy_pj[i]),
+        )
+
+
+def layer_compute_vec(
+    layers: Sequence[Layer],
+    chiplets_allocated: Sequence[int],
+    spec: Optional[ChipletSpec] = None,
+    *,
+    crossbars_available: Optional[Sequence[Optional[int]]] = None,
+) -> LayerComputeBatch:
+    """Batched :func:`layer_compute` over an array of layers.
+
+    Semantics match the scalar model applied to ``layers`` in order,
+    including its error behaviour: the first layer (in sequence) that
+    has weights but no chiplets, or whose weights overflow its
+    allocation's crossbars, raises the same :class:`ValueError` the
+    scalar call would.
+
+    Args:
+        layers: Layers to execute (typically ``model.weight_layers()``).
+        chiplets_allocated: Per-layer chiplet counts, parallel to
+            ``layers``.
+        spec: Chiplet hardware spec shared by all layers.
+        crossbars_available: Optional per-layer usable-crossbar counts;
+            ``None`` entries (or the whole argument) default to the full
+            allocation, as in the scalar model.
+    """
+    spec = spec or ChipletSpec.from_params()
+    n = len(layers)
+    if len(chiplets_allocated) != n:
+        raise ValueError(
+            f"chiplets_allocated has {len(chiplets_allocated)} entries "
+            f"for {n} layers"
+        )
+    if crossbars_available is not None and len(crossbars_available) != n:
+        raise ValueError(
+            f"crossbars_available has {len(crossbars_available)} entries "
+            f"for {n} layers"
+        )
+    weights = np.fromiter(
+        (layer.weights for layer in layers), dtype=np.int64, count=n
+    )
+    macs = np.fromiter(
+        (layer.macs for layer in layers), dtype=np.int64, count=n
+    )
+    alloc = np.asarray(chiplets_allocated, dtype=np.int64).reshape(-1)
+
+    weighted = weights > 0
+    needed = -(-np.maximum(weights, 0) // spec.crossbar.weights_capacity)
+    ceiling = alloc * spec.crossbars
+    # Scalar error precedence per layer: zero weights short-circuit,
+    # then the allocation check, then the weight-count/fit checks.
+    nonzero = weights != 0
+    bad = np.flatnonzero(
+        nonzero & ((alloc <= 0) | (weights < 0) | (needed > ceiling))
+    )
+    if bad.size:
+        i = int(bad[0])
+        if alloc[i] <= 0:
+            raise ValueError(f"layer {layers[i].name!r}: no chiplets allocated")
+        if weights[i] < 0:
+            raise ValueError("negative weight count")
+        raise ValueError(
+            f"layer {layers[i].name!r} needs {int(needed[i])} crossbars but "
+            f"{int(alloc[i])} chiplets provide {int(ceiling[i])}"
+        )
+
+    avail = ceiling.copy()
+    if crossbars_available is not None:
+        for i, a in enumerate(crossbars_available):
+            if a is not None:
+                avail[i] = a
+    parallel = np.maximum(np.maximum(needed, np.minimum(avail, ceiling)), 1)
+    mvms = np.where(macs > 0, -(-macs // spec.crossbar.macs_per_mvm), 0)
+    # Zero-weight layers short-circuit to an all-zero record in the
+    # scalar model; mask them out of every derived quantity.
+    mvms = np.where(weighted, mvms, 0)
+    rounds = -(-mvms // parallel)
+    return LayerComputeBatch(
+        layer_names=tuple(layer.name for layer in layers),
+        chiplets_used=np.where(weighted, alloc, 0),
+        crossbars_used=np.where(weighted, parallel, 0),
         mvm_count=mvms,
         latency_cycles=rounds * spec.crossbar.latency_cycles,
         energy_pj=mvms * spec.crossbar.energy_pj,

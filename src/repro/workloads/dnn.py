@@ -88,6 +88,16 @@ class DNNModel:
             (src, layer.index) for layer in self.layers for src in layer.inputs
         ]
 
+    @cached_property
+    def weighted_site_edges(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Cached site-contracted edges (see :func:`weighted_chain_edges`).
+
+        The contraction is a pure function of the (immutable) layer
+        graph, and every task evaluation walks it, so it is computed
+        once per model instance.
+        """
+        return tuple(_compute_weighted_chain_edges(self))
+
     def layer_by_name(self, name: str) -> Layer:
         """Look up a layer by its unique name.
 
@@ -113,6 +123,9 @@ class DNNModel:
 def weighted_chain_edges(model: DNNModel) -> List[Tuple[int, int, int]]:
     """Contract the layer graph onto weighted layers via output *sites*.
 
+    Cached on the model (:attr:`DNNModel.weighted_site_edges`); callers
+    get a fresh list over the cached tuples.
+
     Weightless layers (pool/add/concat/flatten/...) execute in the
     peripheral logic of a PIM chiplet rather than occupying crossbars, so
     each one is assigned a *site*: the weighted layer (or network input)
@@ -129,6 +142,12 @@ def weighted_chain_edges(model: DNNModel) -> List[Tuple[int, int, int]]:
     is the output volume of the immediate producer node being shipped.
     Sites can be the network input (index 0).
     """
+    return list(model.weighted_site_edges)
+
+
+def _compute_weighted_chain_edges(
+    model: DNNModel,
+) -> List[Tuple[int, int, int]]:
     # Longest-path weighted depth, used to pick main branches.
     depths: Dict[int, int] = {}
     for layer in model.layers:

@@ -25,6 +25,7 @@ from repro.obs import (
     resolve_tracer,
     slowest_cases,
     summarize_metrics,
+    task_eval_summary,
     tracing_enabled,
     worker_case_counts,
     worker_timeline,
@@ -531,3 +532,73 @@ class TestCli:
         )
         assert proc.returncode == 0, proc.stderr
         assert "Traceback" not in proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# task-evaluation summary
+
+
+def _write_task_eval_trace(directory) -> None:
+    tracer = Tracer(directory, worker="sched0", buffer_records=1)
+    reg = MetricsRegistry()
+    reg.counter("sched_taskperf_cache_hits").inc(30)
+    reg.counter("sched_taskperf_cache_misses").inc(10)
+    reg.counter("task_eval_batched").inc(10)
+    reg.counter("task_eval_fallback").inc(2)
+    tracer.metrics(reg)
+    tracer.close()
+
+
+class TestTaskEvalSummary:
+    def test_rows_from_counters(self):
+        metrics = {"counters": {
+            "sched_taskperf_cache_hits": 30,
+            "sched_taskperf_cache_misses": 10,
+            "task_eval_batched": 10,
+            "task_eval_fallback": 2,
+        }}
+        rows = dict(task_eval_summary(metrics))
+        assert rows["taskperf cache hits"] == 30
+        assert rows["taskperf cache misses"] == 10
+        assert rows["taskperf cache hit rate"] == "75.0%"
+        assert rows["evaluate_task batched"] == 10
+        assert rows["evaluate_task per-layer"] == 2
+
+    def test_empty_without_counters(self):
+        assert task_eval_summary({"counters": {}}) == []
+        assert task_eval_summary({"counters": {"cases_evaluated": 5}}) == []
+
+    def test_partial_counters(self):
+        rows = dict(task_eval_summary(
+            {"counters": {"task_eval_batched": 4}}
+        ))
+        assert rows == {
+            "evaluate_task batched": 4,
+            "evaluate_task per-layer": 0,
+        }
+
+    def test_render_report_section(self, tmp_path):
+        _write_task_eval_trace(tmp_path)
+        out = render_report(tmp_path)
+        assert "task evaluation" in out
+        assert "taskperf cache hit rate" in out
+        assert "75.0%" in out
+        # The raw counters still show in the generic fleet table too.
+        assert "sched_taskperf_cache_hits" in out
+
+    def test_cli_renders_section(self, tmp_path, capsys):
+        _write_task_eval_trace(tmp_path)
+        assert obs_main(["report", str(tmp_path)]) == 0
+        assert "task evaluation" in capsys.readouterr().out
+
+    def test_fleet_sums_across_processes(self, tmp_path):
+        _write_task_eval_trace(tmp_path / "a")
+        records = merge_traces(tmp_path / "a")
+        # Fake a second process by rewriting identity fields.
+        other = [
+            {**r, "pid": 99999, "worker": "sched1"} for r in records
+        ]
+        metrics = summarize_metrics(merge_traces(records, other))
+        rows = dict(task_eval_summary(metrics))
+        assert rows["taskperf cache hits"] == 60
+        assert rows["taskperf cache hit rate"] == "75.0%"

@@ -13,6 +13,7 @@ from repro.pim.chiplet import (
     ChipletSpec,
     chiplets_required,
     layer_compute,
+    layer_compute_vec,
     spec_for_budget,
 )
 from repro.pim.reram import (
@@ -192,3 +193,103 @@ class TestAllocationPlan:
                     if len(plan.layer_chiplets[s.layer_index]) == 1
                 )
                 assert total <= spec.crossbars + len(load.slices)
+
+
+class TestLayerComputeVec:
+    """Batched layer compute vs the scalar model, row by row."""
+
+    @staticmethod
+    def _assert_rows_match(layers, allocs, spec, avail=None):
+        batch = layer_compute_vec(
+            layers, allocs, spec, crossbars_available=avail
+        )
+        assert len(batch) == len(layers)
+        for i, layer in enumerate(layers):
+            scalar = layer_compute(
+                layer, allocs[i], spec,
+                crossbars_available=avail[i] if avail else None,
+            )
+            row = batch[i]
+            assert row == scalar  # LayerCompute is a plain dataclass
+
+    def test_matches_scalar_on_toy_model(self):
+        spec = ChipletSpec.from_params()
+        model = make_toy_model()
+        plan = plan_allocation(model, spec)
+        shares = layer_crossbar_allocation(model, plan, spec)
+        layers = list(model.weight_layers())
+        allocs = [
+            max(1, len(plan.layer_chiplets.get(l.index, ())))
+            for l in layers
+        ]
+        avail = [shares.get(l.index) for l in layers]
+        self._assert_rows_match(layers, allocs, spec, avail)
+        # And with the default (full-allocation) crossbar budget.
+        self._assert_rows_match(layers, allocs, spec)
+
+    def test_matches_scalar_on_real_model(self):
+        spec = ChipletSpec.from_params()
+        model = build_model("resnet18", "cifar10")
+        plan = plan_allocation(model, spec)
+        layers = list(model.weight_layers())
+        allocs = [
+            max(1, len(plan.layer_chiplets.get(l.index, ())))
+            for l in layers
+        ]
+        self._assert_rows_match(layers, allocs, spec)
+
+    def test_zero_weight_layer_is_all_zero(self):
+        from repro.workloads.layers import Layer, LayerKind
+
+        spec = ChipletSpec.from_params()
+        weighted = make_toy_model().weight_layers()[0]
+        unweighted = Layer(
+            index=0, name="relu", kind=LayerKind.ADD,
+            out_shape=(4, 4, 4), weights=0, macs=100, inputs=(),
+        )
+        batch = layer_compute_vec([unweighted, weighted], [0, 2], spec)
+        assert batch[0] == layer_compute(unweighted, 0, spec)
+        assert batch[0].latency_cycles == 0
+        assert batch[0].crossbars_used == 0
+        assert batch[1] == layer_compute(weighted, 2, spec)
+
+    def test_error_parity_no_chiplets(self):
+        spec = ChipletSpec.from_params()
+        layer = make_toy_model().weight_layers()[0]
+        with pytest.raises(ValueError, match="no chiplets allocated"):
+            layer_compute_vec([layer], [0], spec)
+
+    def test_error_parity_overflow(self):
+        spec = ChipletSpec.from_params()
+        layers = make_toy_model().weight_layers()
+        big = max(layers, key=lambda l: l.weights)
+        with pytest.raises(ValueError) as vec_err:
+            layer_compute_vec([big], [1], spec)
+        with pytest.raises(ValueError) as scalar_err:
+            layer_compute(big, 1, spec)
+        if "crossbars" in str(scalar_err.value):
+            assert str(vec_err.value) == str(scalar_err.value)
+
+    def test_first_offending_layer_wins(self):
+        spec = ChipletSpec.from_params()
+        layers = make_toy_model().weight_layers()[:2]
+        # Layer 0 lacks chiplets AND layer 1 overflows: the scalar loop
+        # would trip on layer 0 first.
+        with pytest.raises(ValueError, match="no chiplets allocated"):
+            layer_compute_vec(list(layers), [0, 0], spec)
+
+    def test_length_mismatch(self):
+        spec = ChipletSpec.from_params()
+        layers = make_toy_model().weight_layers()
+        with pytest.raises(ValueError, match="chiplets_allocated"):
+            layer_compute_vec(list(layers), [1], spec)
+        with pytest.raises(ValueError, match="crossbars_available"):
+            layer_compute_vec(
+                list(layers), [1] * len(layers), spec,
+                crossbars_available=[None],
+            )
+
+    def test_empty_batch(self):
+        spec = ChipletSpec.from_params()
+        batch = layer_compute_vec([], [], spec)
+        assert len(batch) == 0

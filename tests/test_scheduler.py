@@ -104,3 +104,74 @@ class TestConstraintAccounting:
         assert result.mean_packet_latency > 0
         assert result.total_noi_energy_pj > 0
         assert result.mean_task_latency > 0
+
+
+class TestTaskPerfMemoization:
+    """Schedule-level TaskPerf memo: bit-identical results, counted."""
+
+    @staticmethod
+    def _scheduler(small_floret, memoize):
+        return SystemScheduler(
+            small_floret.topology,
+            ContiguousMapper(
+                small_floret.allocation_order, small_floret.topology
+            ),
+            memoize=memoize,
+        )
+
+    def test_memoized_bit_identical_to_cold(self, small_floret):
+        tasks = toy_tasks(12)
+        cold = self._scheduler(small_floret, memoize=False).run(tasks)
+        warm = self._scheduler(small_floret, memoize=True).run(tasks)
+        assert cold.makespan_cycles == warm.makespan_cycles
+        assert cold.busy_integral == warm.busy_integral
+        assert cold.num_chiplets == warm.num_chiplets
+        assert len(cold.completed) == len(warm.completed)
+        for c, w in zip(cold.completed, warm.completed):
+            assert c.perf == w.perf  # frozen dataclass: field-exact
+            assert c.placement.chiplet_ids == w.placement.chiplet_ids
+            assert (c.start_cycle, c.finish_cycle) == (
+                w.start_cycle, w.finish_cycle
+            )
+
+    def test_hits_and_misses_counted(self, small_floret):
+        from repro.obs.metrics import REGISTRY
+
+        hits = REGISTRY.counter("sched_taskperf_cache_hits")
+        misses = REGISTRY.counter("sched_taskperf_cache_misses")
+        h0, m0 = hits.value, misses.value
+        self._scheduler(small_floret, memoize=True).run(toy_tasks(10))
+        # 10 identical tasks recycle a handful of footprints: at least
+        # one cold evaluation and at least one memo hit.
+        assert misses.value > m0
+        assert hits.value > h0
+        assert (hits.value - h0) + (misses.value - m0) == 10
+
+    def test_hit_keeps_each_tasks_id(self, small_floret):
+        result = self._scheduler(small_floret, memoize=True).run(
+            toy_tasks(8)
+        )
+        ids = sorted(t.perf.task_id for t in result.completed)
+        assert ids == sorted(f"t{i:02d}" for i in range(8))
+
+    def test_memo_persists_across_runs(self, small_floret):
+        from repro.obs.metrics import REGISTRY
+
+        scheduler = self._scheduler(small_floret, memoize=True)
+        misses = REGISTRY.counter("sched_taskperf_cache_misses")
+        scheduler.run(toy_tasks(4))
+        m1 = misses.value
+        scheduler.run(toy_tasks(4))
+        # Second run re-uses the first run's entries: no new misses.
+        assert misses.value == m1
+
+    def test_memoize_disabled_never_caches(self, small_floret):
+        from repro.obs.metrics import REGISTRY
+
+        hits = REGISTRY.counter("sched_taskperf_cache_hits")
+        misses = REGISTRY.counter("sched_taskperf_cache_misses")
+        h0, m0 = hits.value, misses.value
+        scheduler = self._scheduler(small_floret, memoize=False)
+        scheduler.run(toy_tasks(6))
+        assert (hits.value, misses.value) == (h0, m0)
+        assert scheduler._perf_memo == {}

@@ -19,6 +19,7 @@ from repro.net.analytic import (
 from repro.net.vectorized import (
     communication_cost_vec,
     multicast_step_cost_pergroup,
+    multicast_step_cost_steps,
     multicast_step_cost_vec,
     traffic_matrix_cost,
     traffic_matrix_to_transfers,
@@ -65,6 +66,7 @@ def assert_reports_equal(scalar: CommReport, vec: CommReport) -> None:
     assert vec.total_flits == scalar.total_flits
     assert vec.packet_count == scalar.packet_count
     assert vec.packet_latency_sum == scalar.packet_latency_sum
+    assert vec.payload_volume == scalar.payload_volume
     # Float sums may reassociate: 1e-9 relative tolerance.
     assert vec.energy_pj == pytest.approx(scalar.energy_pj, rel=1e-9)
     assert vec.weighted_hops == pytest.approx(scalar.weighted_hops, rel=1e-9)
@@ -230,3 +232,91 @@ class TestMulticastBatching:
             multicast_step_cost_pergroup(small_mesh, groups),
             multicast_step_cost_vec(small_mesh, groups),
         )
+
+
+class TestMulticastSteps:
+    """Step-segmented batching vs the per-step batched engine.
+
+    ``multicast_step_cost_steps`` on the concatenation of many steps'
+    groups must equal ``multicast_step_cost_vec`` applied to each step
+    alone -- exactly on integer fields (same dedup keys, int64 segment
+    sums), 1e-9 on floats.
+    """
+
+    @staticmethod
+    def _stepped_groups(n, rng, num_steps, count=80):
+        groups = _random_groups(n, rng, count=count)
+        steps = [int(s) for s in rng.integers(0, num_steps, count)]
+        return groups, steps
+
+    @pytest.mark.parametrize("fixture", TOPOLOGY_FIXTURES)
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_matches_perstep_vec(self, fixture, seed, request):
+        topo = _topology(request, fixture)
+        rng = np.random.default_rng(seed)
+        num_steps = 7
+        groups, steps = self._stepped_groups(
+            topo.num_chiplets, rng, num_steps
+        )
+        reports = multicast_step_cost_steps(topo, groups, steps, num_steps)
+        assert len(reports) == num_steps
+        for s in range(num_steps):
+            per_step = [g for g, st in zip(groups, steps) if st == s]
+            assert_reports_equal(
+                multicast_step_cost_vec(topo, per_step), reports[s]
+            )
+
+    @pytest.mark.parametrize("fixture", TOPOLOGY_FIXTURES)
+    def test_empty_steps_get_zero_reports(self, fixture, request):
+        topo = _topology(request, fixture)
+        # Steps 0 and 3 stay empty; step 2 only has degenerate groups.
+        groups = [
+            (0, (1, 2), 512),
+            (4, (4,), 256),
+            (3, (5, 6), 0),
+            (1, (2,), 128),
+        ]
+        steps = [1, 2, 2, 4]
+        reports = multicast_step_cost_steps(topo, groups, steps, 5)
+        for s in (0, 2, 3):
+            assert reports[s].total_flits == 0
+            assert reports[s].latency_cycles == 0
+            assert reports[s].payload_volume == 0
+        for s in (1, 4):
+            per_step = [g for g, st in zip(groups, steps) if st == s]
+            assert_reports_equal(
+                multicast_step_cost_vec(topo, per_step), reports[s]
+            )
+
+    def test_no_groups(self, small_floret):
+        topo = small_floret.topology
+        reports = multicast_step_cost_steps(topo, [], [], 4)
+        assert len(reports) == 4
+        assert all(r.total_flits == 0 for r in reports)
+        assert multicast_step_cost_steps(topo, [], [], 0) == []
+
+    def test_scalar_oracle_composition(self, small_floret):
+        from repro.net.analytic import multicast_step_cost
+
+        topo = small_floret.topology
+        groups = [(0, (1, 2, 3), 640), (0, (2, 3, 4), 320),
+                  (5, (6, 7), 128), (8, (9,), 64)]
+        steps = [0, 1, 1, 2]
+        reports = multicast_step_cost_steps(topo, groups, steps, 3)
+        for s in range(3):
+            per_step = [g for g, st in zip(groups, steps) if st == s]
+            assert_reports_equal(
+                multicast_step_cost(topo, per_step), reports[s]
+            )
+
+    def test_validation_errors(self, small_floret):
+        topo = small_floret.topology
+        groups = [(0, (1,), 64)]
+        with pytest.raises(ValueError, match="entries"):
+            multicast_step_cost_steps(topo, groups, [0, 1], 2)
+        with pytest.raises(ValueError, match="step ids"):
+            multicast_step_cost_steps(topo, groups, [3], 2)
+        with pytest.raises(ValueError, match="step ids"):
+            multicast_step_cost_steps(topo, groups, [-1], 2)
+        with pytest.raises(ValueError, match="num_steps"):
+            multicast_step_cost_steps(topo, groups, [0], -1)
