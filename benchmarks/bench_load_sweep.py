@@ -86,10 +86,22 @@ def _gate_cases():
 
 def _sweep_cases():
     if quick_mode():
-        return sweep_grid(archs=("siam", "kite"), sizes=(36,),
-                          workloads=SWEEP_RATES_QUICK, seeds=(0,))
-    return sweep_grid(archs=SWEEP_ARCHS, sizes=(64,),
-                      workloads=SWEEP_RATES, seeds=(0,))
+        cases = sweep_grid(archs=("siam", "kite"), sizes=(36,),
+                           workloads=SWEEP_RATES_QUICK, seeds=(0,))
+    else:
+        cases = sweep_grid(archs=SWEEP_ARCHS, sizes=(64,),
+                           workloads=SWEEP_RATES, seeds=(0,))
+    # One attribution-on case (distinct rate so the pivot keeps a clean
+    # row): its per-packet/per-link breakdown arrays ride the store's
+    # npz payloads and its attr_* counters land in any trace this bench
+    # runs under, so CI's merged trace report exercises the
+    # attribution section end to end.
+    cases += sweep_grid(
+        archs=("siam",), sizes=(36,) if quick_mode() else (64,),
+        workloads=("uniform@0.07",), seeds=(0,),
+        overrides=((("sim_attribution", 1.0),),), tag="attr",
+    )
+    return cases
 
 
 def _assert_reports_identical(events, epochs, label):

@@ -22,6 +22,18 @@ prices the enabled path honestly:
    untraced one.  These rows quantify what switching ``REPRO_TRACE``
    on actually costs -- they are printed, not gated, because enabled
    tracing is allowed to cost.
+
+3. **Attribution-off gate (hard) + attribution price list.**  The
+   latency-attribution layer (``attribution=True`` on
+   ``simulate_packets`` + :func:`~repro.net.journey.latency_breakdown`)
+   follows the same promise: with ``sim_attribution`` left at its
+   default, the load-sweep evaluator must stay within **3%** of the
+   pre-attribution path -- measured by draining the same grid with and
+   without an explicit ``sim_attribution=0.0`` override (the override
+   path exercises the knob plumbing without enabling collection).  The
+   ratio is drift-watched under ``bench="attr_off_overhead"``.  The
+   informational side prices ``attribution=True`` per engine tier:
+   trace collection + the order-invariant breakdown reduction.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from __future__ import annotations
 import os
 import time
 import warnings
+from dataclasses import replace
 from pathlib import Path
 
 from _bench_utils import quick_mode, run_once
@@ -49,7 +62,8 @@ from repro.eval.sweeps import (
     evaluate_comm_case,
 )
 from repro.net.grantkernel import warmup_kernels
-from repro.net.simulator import simulate
+from repro.net.journey import latency_breakdown
+from repro.net.simulator import simulate, simulate_packets
 from repro.obs import REGISTRY
 
 ENGINES = ("events", "epochs", "epochs-par", "epochs-jit")
@@ -126,12 +140,56 @@ def _disabled_gate():
     }
 
 
+def _attr_off_gate():
+    """Default evaluator path vs an explicit ``sim_attribution=0.0``.
+
+    Both sides run :func:`evaluate_load_sweep_case`; the override side
+    pays the knob plumbing (override resolution, a distinct topology
+    cache entry, the ``attribution`` branch test in the simulator) but
+    must not pay for trace collection itself.
+    """
+    plain_cases = _gate_grid()
+    off_cases = [
+        replace(c, noi_overrides=(("sim_attribution", 0.0),),
+                tag="attr-off")
+        for c in plain_cases
+    ]
+
+    def drain(cs):
+        for case in cs:
+            evaluate_load_sweep_case(case)
+
+    drain(plain_cases)   # warm topology/routing caches on both sides
+    drain(off_cases)
+
+    plain_s = off_s = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        drain(plain_cases)
+        plain_s = min(plain_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        drain(off_cases)
+        off_s = min(off_s, time.perf_counter() - t0)
+    return {
+        "cases": len(plain_cases),
+        "bare_s": plain_s,
+        "off_s": off_s,
+        "overhead": off_s / max(plain_s, 1e-12),
+        "ratio": plain_s / max(off_s, 1e-12),
+    }
+
+
 def _simulate_plain(topo, table, engine):
     simulate(topo, table, engine=engine)
 
 
 def _simulate_profiled(topo, table, engine):
     simulate(topo, table, engine=engine, profile=True)
+
+
+def _simulate_attributed(topo, table, engine):
+    sim = simulate_packets(topo, table, engine=engine, attribution=True)
+    latency_breakdown(sim, topo)
 
 
 def _engine_price_list(tmp):
@@ -149,6 +207,7 @@ def _engine_price_list(tmp):
     topo.routing_tables().queue_index()
 
     rows = []
+    attr_rows = []
     for engine in ENGINES:
         simulate(topo, table[:64], engine=engine)  # warm the code path
         plain_s = _best_of(_simulate_plain, topo, table, engine)
@@ -157,6 +216,13 @@ def _engine_price_list(tmp):
         rows.append((
             engine, plain_s, profiled_s,
             profiled_s / max(plain_s, 1e-12),
+        ))
+        # attribution=True: grant-trace collection + the journey
+        # reduction into a LatencyBreakdown.
+        _simulate_attributed(topo, table[:64], engine)
+        attr_s = _best_of(_simulate_attributed, topo, table, engine)
+        attr_rows.append((
+            engine, plain_s, attr_s, attr_s / max(plain_s, 1e-12),
         ))
 
     # One traced drain vs one untraced drain of the same small grid.
@@ -174,7 +240,7 @@ def _engine_price_list(tmp):
         "drain+trace", untraced_s, traced_s,
         traced_s / max(untraced_s, 1e-12),
     ))
-    return rows
+    return rows, attr_rows
 
 
 _DIR_SEQ = [0]
@@ -187,20 +253,26 @@ def _fresh_dir(tmp) -> Path:
 
 def _run(tmp):
     gate = _disabled_gate()
-    price_list = _engine_price_list(tmp)
-    return gate, price_list
+    attr_gate = _attr_off_gate()
+    price_list, attr_prices = _engine_price_list(tmp)
+    return gate, attr_gate, price_list, attr_prices
 
 
 def test_obs_overhead(benchmark, tmp_path):
-    gate, price_list = run_once(benchmark, _run, tmp_path)
+    gate, attr_gate, price_list, attr_prices = run_once(
+        benchmark, _run, tmp_path
+    )
 
     print()
     print(format_table(
         ["path", "cases", "bare (s)", "instrumented (s)", "overhead"],
         [("disabled tracer", gate["cases"], gate["bare_s"],
-          gate["instr_s"], gate["overhead"])],
-        title="Disabled-tracer gate: bare evaluator loop vs "
-              "instrumented _evaluate_one (REPRO_TRACE unset)",
+          gate["instr_s"], gate["overhead"]),
+         ("attribution off", attr_gate["cases"], attr_gate["bare_s"],
+          attr_gate["off_s"], attr_gate["overhead"])],
+        title="Disabled-path gates: bare evaluator loop vs "
+              "instrumented _evaluate_one (REPRO_TRACE unset) and vs "
+              "sim_attribution=0.0 override",
         float_format="{:.4f}",
     ))
     print(format_table(
@@ -209,32 +281,48 @@ def test_obs_overhead(benchmark, tmp_path):
         title="Enabled-observability price list (informational)",
         float_format="{:.4f}",
     ))
+    print(format_table(
+        ["tier", "plain (s)", "attributed (s)", "overhead"],
+        attr_prices,
+        title="Latency-attribution price list (informational): "
+              "simulate_packets(attribution=True) + latency_breakdown",
+        float_format="{:.4f}",
+    ))
 
     store_dir = os.environ.get("REPRO_STORE_DIR")
     if store_dir:
         history_path = Path(store_dir) / "ratio-history.jsonl"
-        prior = [
-            rec for rec in load_ratio_history(history_path)
-            if rec.get("bench") == "obs_overhead"
-            and rec.get("quick") == quick_mode()
-        ]
-        drift = ratio_drift_warning(prior, gate["ratio"], tolerance=0.2)
-        if drift is not None:
-            warnings.warn(f"obs-overhead drift watch: {drift}",
-                          RuntimeWarning)
-            print(f"WARNING: {drift}")
-        append_ratio_history(history_path, {
-            "bench": "obs_overhead",
-            "quick": quick_mode(),
-            "speedup": round(gate["ratio"], 4),
-            "cases": gate["cases"],
-            "unix_time": round(time.time(), 3),
-        })
+        history = load_ratio_history(history_path)
+        for bench, measured in (("obs_overhead", gate),
+                                ("attr_off_overhead", attr_gate)):
+            prior = [
+                rec for rec in history
+                if rec.get("bench") == bench
+                and rec.get("quick") == quick_mode()
+            ]
+            drift = ratio_drift_warning(prior, measured["ratio"],
+                                        tolerance=0.2)
+            if drift is not None:
+                warnings.warn(f"{bench} drift watch: {drift}",
+                              RuntimeWarning)
+                print(f"WARNING: {drift}")
+            append_ratio_history(history_path, {
+                "bench": bench,
+                "quick": quick_mode(),
+                "speedup": round(measured["ratio"], 4),
+                "cases": measured["cases"],
+                "unix_time": round(time.time(), 3),
+            })
 
     assert gate["overhead"] <= OVERHEAD_CEILING, (
         f"disabled-tracer instrumentation costs "
         f"{(gate['overhead'] - 1) * 100:.1f}% over the bare evaluator "
         f"loop (ceiling {(OVERHEAD_CEILING - 1) * 100:.0f}%)"
+    )
+    assert attr_gate["overhead"] <= OVERHEAD_CEILING, (
+        f"attribution-off path costs "
+        f"{(attr_gate['overhead'] - 1) * 100:.1f}% over the default "
+        f"evaluator loop (ceiling {(OVERHEAD_CEILING - 1) * 100:.0f}%)"
     )
     # The registry counters did run (they are the always-on part).
     snapshot = REGISTRY.snapshot()["counters"]

@@ -697,8 +697,12 @@ def evaluate_load_sweep_case(case) -> Dict[str, float]:
     warm-up packets fill the network but are excluded from the steady
     metrics.  Flow-control knobs set through the case's
     ``noi_overrides`` (``fc_buffer_flits``, ``fc_source_queue``,
-    ``fc_credit_rtt``) turn the same sweep closed-loop, and a
-    ``sim_engine`` override pins an engine tier for oracle runs.
+    ``fc_credit_rtt``) turn the same sweep closed-loop, a
+    ``sim_engine`` override pins an engine tier for oracle runs, and a
+    ``sim_attribution`` override adds the latency-attribution arrays
+    (:func:`repro.net.journey.latency_breakdown`) to the result: the
+    component totals as ``attr_*_cycles`` scalar metrics and the
+    per-packet/per-link arrays through the store's npz payload.
     """
     from ..net.simulator import simulate_packets
     from .sweeps import case_topology
@@ -706,7 +710,11 @@ def evaluate_load_sweep_case(case) -> Dict[str, float]:
     spec = parse_load_workload(case.workload)
     topo = case_topology(case)
     table = load_sweep_traffic(spec, case.num_chiplets, case.seed)
-    sim = simulate_packets(topo, table, engine=topo.params.sim_engine)
+    attribution = bool(getattr(topo.params, "sim_attribution", False))
+    sim = simulate_packets(
+        topo, table, engine=topo.params.sim_engine,
+        attribution=attribution,
+    )
     n = case.num_chiplets
     window = spec.window_cycles
     metrics: Dict[str, float] = {
@@ -717,6 +725,17 @@ def evaluate_load_sweep_case(case) -> Dict[str, float]:
         ),
         "sim_epochs": float(sim.epochs),
     }
+    if attribution:
+        from ..net.journey import latency_breakdown
+
+        breakdown = latency_breakdown(sim, topo)
+        metrics.update({
+            f"attr_{name}_cycles": float(total)
+            for name, total in breakdown.totals().items()
+        })
+        # ndarray values are routed into SweepResult.arrays (and the
+        # store's npz payload) by _evaluate_one.
+        metrics.update(breakdown.arrays())
     if sim.packets == 0:
         metrics.update(
             makespan_cycles=0.0, drain_cycles=0.0,

@@ -32,7 +32,20 @@ from .flowcontrol import (
     LinkTelemetry,
     link_telemetry,
 )
-from .perf import TaskPerf, evaluate_task, evaluate_task_perlayer
+from .journey import (
+    COMPONENTS,
+    LatencyBreakdown,
+    PacketJourney,
+    latency_breakdown,
+    packet_journeys,
+)
+from .perf import (
+    TaskAttribution,
+    TaskPerf,
+    attribute_task,
+    evaluate_task,
+    evaluate_task_perlayer,
+)
 from .routing import (
     LinkQueueIndex,
     RoutingTables,
@@ -62,26 +75,33 @@ from .vectorized import (
 )
 
 __all__ = [
+    "COMPONENTS",
     "CommReport",
     "ENGINES",
     "FLOW_CONTROL_FROM_PARAMS",
     "FlowControlDeadlockError",
     "FlowControlParams",
     "GrantTrace",
+    "LatencyBreakdown",
     "LinkQueueIndex",
     "LinkTelemetry",
     "Message",
+    "PacketJourney",
     "PacketSim",
     "RoutingTables",
     "SimReport",
+    "TaskAttribution",
     "TaskPerf",
+    "attribute_task",
     "build_link_queue_index",
     "build_routing_tables",
     "contention_components",
+    "latency_breakdown",
     "link_telemetry",
     "communication_cost",
     "communication_cost_vec",
     "evaluate_task",
+    "packet_journeys",
     "evaluate_task_perlayer",
     "flits_for_bytes",
     "message_array",

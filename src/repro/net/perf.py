@@ -121,40 +121,98 @@ def _validate_placement(
         )
 
 
-def evaluate_task(
+@dataclass(frozen=True, eq=False)
+class TaskAttribution:
+    """Per-layer comm-vs-compute critical path of one evaluated task.
+
+    Arrays are ``(n,)`` over the model's weighted layers in step order.
+    A layer's cost is ``max(comm, compute)`` (the two overlap); the
+    *critical* resource is whichever bound it, with the tie awarded to
+    communication (the NoI is the paper's subject, and a tied layer's
+    latency cannot be improved by compute alone).  ``slack_cycles`` is
+    what the non-critical resource could grow by for free.
+    """
+
+    task_id: str
+    model_name: str
+    layer_names: Tuple[str, ...]
+    comm_cycles: np.ndarray
+    compute_cycles: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.layer_names)
+
+    @property
+    def comm_bound(self) -> np.ndarray:
+        """Boolean per layer: communication on the critical path."""
+        return self.comm_cycles >= self.compute_cycles
+
+    @property
+    def critical_cycles(self) -> np.ndarray:
+        return np.maximum(self.comm_cycles, self.compute_cycles)
+
+    @property
+    def slack_cycles(self) -> np.ndarray:
+        return self.critical_cycles - np.minimum(
+            self.comm_cycles, self.compute_cycles
+        )
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        """Display rows: one per layer plus a ``TOTAL`` line."""
+        bound = self.comm_bound
+        critical = self.critical_cycles
+        total = max(1, int(critical.sum()))
+        out: List[Tuple[object, ...]] = [
+            (
+                name,
+                int(self.comm_cycles[i]),
+                int(self.compute_cycles[i]),
+                "comm" if bound[i] else "compute",
+                int(self.slack_cycles[i]),
+                f"{int(critical[i]) / total:.1%}",
+            )
+            for i, name in enumerate(self.layer_names)
+        ]
+        out.append((
+            "TOTAL",
+            int(self.comm_cycles.sum()),
+            int(self.compute_cycles.sum()),
+            f"comm x{int(bound.sum())}",
+            int(self.slack_cycles.sum()),
+            "100.0%",
+        ))
+        return out
+
+    def format(self) -> str:
+        from ..eval.report import format_table
+
+        return format_table(
+            ("layer", "comm_cycles", "compute_cycles", "critical",
+             "slack_cycles", "share"),
+            self.rows(),
+            title=(
+                f"task attribution: {self.task_id} "
+                f"({int(self.comm_bound.sum())}/{len(self)} layers "
+                f"comm-bound)"
+            ),
+        )
+
+
+def _task_batch(
     topology: Topology,
     model: DNNModel,
     plan: AllocationPlan,
     chiplet_ids: Sequence[int],
-    *,
-    task_id: str = "",
-    spec: Optional[ChipletSpec] = None,
-    bytes_per_element: int = 1,
-) -> TaskPerf:
-    """Evaluate one mapped task (cross-layer batched engine).
+    spec: ChipletSpec,
+    bytes_per_element: int,
+):
+    """The two batched calls shared by the task evaluators.
 
-    The whole task is two batched calls: every layer's incoming
-    multicast groups, tagged with the consumer layer's step id, go
-    through :func:`multicast_step_cost_steps` at once, and every
-    layer's compute through :func:`layer_compute_vec`; the per-layer
-    ``max(comm, compute)`` composition then reduces over arrays.
-    :func:`evaluate_task_perlayer` is the pinned per-layer reference.
-
-    Args:
-        topology: The NoI the task runs on.
-        model: The workload.
-        plan: Its chiplet allocation plan.
-        chiplet_ids: Physical chiplet id for each plan position
-            (``len(chiplet_ids) == plan.num_chiplets``).
-        task_id: Identifier for the report.
-        spec: Chiplet hardware spec.
-        bytes_per_element: Activation precision in bytes.
-
-    Raises:
-        ValueError: On plan/placement size mismatch.
+    Returns ``(layers, reports, compute, comm_latency)``: the weighted
+    layers in step order, one :class:`CommReport` per layer, the
+    :class:`~repro.pim.chiplet.LayerComputeBatch`, and the per-layer
+    communication latency as an int64 array.
     """
-    _validate_placement(plan, chiplet_ids)
-    spec = spec or ChipletSpec.from_params()
     incoming = _incoming_groups(model, plan, chiplet_ids, bytes_per_element)
 
     from ..pim.allocation import layer_crossbar_allocation
@@ -182,20 +240,48 @@ def evaluate_task(
             crossbar_shares.get(layer.index) for layer in layers
         ],
     )
-
-    n = len(layers)
     comm_latency = np.fromiter(
-        (r.latency_cycles for r in reports), dtype=np.int64, count=n
+        (r.latency_cycles for r in reports), dtype=np.int64,
+        count=len(layers),
     )
+    return layers, reports, compute, comm_latency
+
+
+def _fold_task_perf(
+    model: DNNModel,
+    plan: AllocationPlan,
+    task_id: str,
+    reports,
+    compute,
+    comm_latency: np.ndarray,
+) -> TaskPerf:
+    """Reduce the batched per-layer arrays into one :class:`TaskPerf`.
+
+    Also feeds the critical-path fleet counters: how many layers each
+    resource bounded and how many cycles it contributed to the task's
+    end-to-end latency -- the trace report's "attribution" section
+    reads these, so every traced ``evaluate_task`` run is attributed
+    for free.
+    """
     hop_weight = sum(r.weighted_hops * r.payload_volume for r in reports)
     volume_total = sum(r.payload_volume for r in reports)
+    comm_bound = comm_latency >= compute.latency_cycles
+    critical = np.maximum(compute.latency_cycles, comm_latency)
     REGISTRY.counter("task_eval_batched").inc()
+    REGISTRY.counter("task_layers_comm_bound").inc(int(comm_bound.sum()))
+    REGISTRY.counter("task_layers_compute_bound").inc(
+        int((~comm_bound).sum())
+    )
+    REGISTRY.counter("task_comm_critical_cycles").inc(
+        int(critical[comm_bound].sum())
+    )
+    REGISTRY.counter("task_compute_critical_cycles").inc(
+        int(critical[~comm_bound].sum())
+    )
     return TaskPerf(
         task_id=task_id or model.name,
         model_name=model.name,
-        latency_cycles=int(
-            np.maximum(compute.latency_cycles, comm_latency).sum()
-        ),
+        latency_cycles=int(critical.sum()),
         noi_latency_cycles=int(comm_latency.sum()),
         compute_latency_cycles=int(compute.latency_cycles.sum()),
         noi_energy_pj=float(sum(r.energy_pj for r in reports)),
@@ -205,6 +291,85 @@ def evaluate_task(
         packet_count=sum(r.packet_count for r in reports),
         packet_latency_sum=sum(r.packet_latency_sum for r in reports),
     )
+
+
+def evaluate_task(
+    topology: Topology,
+    model: DNNModel,
+    plan: AllocationPlan,
+    chiplet_ids: Sequence[int],
+    *,
+    task_id: str = "",
+    spec: Optional[ChipletSpec] = None,
+    bytes_per_element: int = 1,
+) -> TaskPerf:
+    """Evaluate one mapped task (cross-layer batched engine).
+
+    The whole task is two batched calls: every layer's incoming
+    multicast groups, tagged with the consumer layer's step id, go
+    through :func:`multicast_step_cost_steps` at once, and every
+    layer's compute through :func:`layer_compute_vec`; the per-layer
+    ``max(comm, compute)`` composition then reduces over arrays.
+    :func:`evaluate_task_perlayer` is the pinned per-layer reference;
+    :func:`attribute_task` additionally returns the per-layer
+    critical-path table.
+
+    Args:
+        topology: The NoI the task runs on.
+        model: The workload.
+        plan: Its chiplet allocation plan.
+        chiplet_ids: Physical chiplet id for each plan position
+            (``len(chiplet_ids) == plan.num_chiplets``).
+        task_id: Identifier for the report.
+        spec: Chiplet hardware spec.
+        bytes_per_element: Activation precision in bytes.
+
+    Raises:
+        ValueError: On plan/placement size mismatch.
+    """
+    _validate_placement(plan, chiplet_ids)
+    spec = spec or ChipletSpec.from_params()
+    _, reports, compute, comm_latency = _task_batch(
+        topology, model, plan, chiplet_ids, spec, bytes_per_element
+    )
+    return _fold_task_perf(
+        model, plan, task_id, reports, compute, comm_latency
+    )
+
+
+def attribute_task(
+    topology: Topology,
+    model: DNNModel,
+    plan: AllocationPlan,
+    chiplet_ids: Sequence[int],
+    *,
+    task_id: str = "",
+    spec: Optional[ChipletSpec] = None,
+    bytes_per_element: int = 1,
+) -> Tuple[TaskPerf, TaskAttribution]:
+    """:func:`evaluate_task` plus the per-layer critical-path split.
+
+    One batched evaluation serves both results: the returned
+    :class:`TaskPerf` is identical to :func:`evaluate_task`'s, and the
+    :class:`TaskAttribution` keeps the per-layer comm/compute arrays
+    the fold would otherwise discard.
+    """
+    _validate_placement(plan, chiplet_ids)
+    spec = spec or ChipletSpec.from_params()
+    layers, reports, compute, comm_latency = _task_batch(
+        topology, model, plan, chiplet_ids, spec, bytes_per_element
+    )
+    perf = _fold_task_perf(
+        model, plan, task_id, reports, compute, comm_latency
+    )
+    attribution = TaskAttribution(
+        task_id=task_id or model.name,
+        model_name=model.name,
+        layer_names=tuple(layer.name for layer in layers),
+        comm_cycles=comm_latency,
+        compute_cycles=compute.latency_cycles.astype(np.int64, copy=False),
+    )
+    return perf, attribution
 
 
 def evaluate_task_perlayer(

@@ -208,6 +208,13 @@ class PacketSim:
     phase_timings: "Dict[str, float] | None" = field(
         default=None, compare=False
     )
+    #: Full grant trace (``simulate_packets(..., attribution=True)``):
+    #: the substrate :func:`repro.net.journey.latency_breakdown`
+    #: reduces.  Excluded from equality because row *order* is
+    #: engine-dependent -- the sorted rows and every reduction over
+    #: them are identical across engines, which is what the oracle
+    #: tests compare.
+    trace: "GrantTrace | None" = field(default=None, compare=False)
 
     @property
     def packets(self) -> int:
@@ -349,6 +356,7 @@ def simulate(
     engine: str = "auto",
     flow_control=FLOW_CONTROL_FROM_PARAMS,
     telemetry: bool = False,
+    attribution: bool = False,
     profile: "bool | None" = None,
 ) -> SimReport:
     """Run the packet simulation for ``messages`` on ``topology``.
@@ -383,6 +391,10 @@ def simulate(
             :class:`~repro.net.flowcontrol.LinkTelemetry` census
             (``PacketSim.telemetry``); off by default because the grant
             trace costs memory proportional to total hops.
+        attribution: Keep the full per-grant trace on the result
+            (``PacketSim.trace``) for
+            :func:`repro.net.journey.latency_breakdown`; same memory
+            cost as ``telemetry``.
         profile: Record per-phase wall times and engine-dispatch
             metrics (``SimReport.phase_timings``).  ``None`` (default)
             follows the ``REPRO_TRACE`` observability switch, so traced
@@ -395,6 +407,7 @@ def simulate(
         engine=engine,
         flow_control=flow_control,
         telemetry=telemetry,
+        attribution=attribution,
         profile=profile,
     ).report()
 
@@ -423,6 +436,7 @@ def simulate_packets(
     engine: str = "auto",
     flow_control=FLOW_CONTROL_FROM_PARAMS,
     telemetry: bool = False,
+    attribution: bool = False,
     profile: "bool | None" = None,
 ) -> PacketSim:
     """:func:`simulate` at per-packet resolution (see :class:`PacketSim`)."""
@@ -432,6 +446,9 @@ def simulate_packets(
         )
     if profile is None:
         profile = tracing_enabled()
+    # Telemetry (per-link census) and attribution (journey breakdowns)
+    # both ride the same grant trace; either switch turns collection on.
+    collect = telemetry or attribution
     timings: "Dict[str, float] | None" = {} if profile else None
     phase_t0 = clock() if profile else 0.0
     params = topology.params
@@ -457,6 +474,7 @@ def simulate_packets(
                 ) if telemetry else None
             ),
             phase_timings=timings,
+            trace=GrantTrace.empty() if attribution else None,
         )
     if fc is not None and fc.buffer_flits is not None:
         max_flits = int(flits.max())
@@ -525,14 +543,14 @@ def simulate_packets(
             contended_trace = _grant_kernel_module().simulate_grant_kernel(
                 tables, fc, inject, src, flits, starts, hops,
                 contended_ids, completion, latencies,
-                collect_trace=telemetry,
+                collect_trace=collect,
             )
         elif resolved == "epochs-par":
             epochs, components, contended_trace = (
                 _simulate_contended_components(
                     tables, fc, inject, src, flits, starts, hops,
                     contended_ids, completion, latencies,
-                    collect_trace=telemetry,
+                    collect_trace=collect,
                 )
             )
         elif fc is not None:
@@ -540,33 +558,33 @@ def simulate_packets(
                 epochs, contended_trace = simulate_fc_epochs(
                     tables, fc, inject, src, flits, starts, hops,
                     contended_ids, completion, latencies,
-                    collect_trace=telemetry,
+                    collect_trace=collect,
                 )
             else:
                 contended_trace = simulate_fc_events(
                     tables, fc, inject, src, flits, starts, hops,
                     contended_ids, completion, latencies,
-                    collect_trace=telemetry,
+                    collect_trace=collect,
                 )
         elif resolved == "epochs":
-            trace_chunks = [] if telemetry else None
+            trace_chunks = [] if collect else None
             epochs = _simulate_contended_epochs(
                 tables, inject, flits, starts, hops,
                 contended_ids, completion, latencies,
                 trace=trace_chunks,
             )
-            if telemetry:
+            if collect:
                 from .flowcontrol import _trace_from_chunks
 
                 contended_trace = _trace_from_chunks(trace_chunks)
         else:
-            trace_rows = [] if telemetry else None
+            trace_rows = [] if collect else None
             _simulate_contended(
                 tables, params, inject, flits, starts, hops,
                 contended_ids, completion, latencies,
                 trace=trace_rows,
             )
-            if telemetry:
+            if collect:
                 from .flowcontrol import _trace_from_chunks
 
                 contended_trace = _trace_from_chunks([
@@ -590,7 +608,8 @@ def simulate_packets(
         if components:
             REGISTRY.counter("sim_components").inc(components)
     census = None
-    if telemetry:
+    trace = None
+    if collect:
         fast_trace = _fast_path_trace(
             tables, inject, src, flits, starts, hops,
             np.nonzero(~contended)[0],
@@ -598,10 +617,11 @@ def simulate_packets(
         trace = GrantTrace.concat(
             [fast_trace] + ([contended_trace] if contended_trace else [])
         )
-        census = link_telemetry(
-            trace, tables.num_directed_links, int(completion.max())
-        )
-    if profile and telemetry:
+        if telemetry:
+            census = link_telemetry(
+                trace, tables.num_directed_links, int(completion.max())
+            )
+    if profile and collect:
         timings["telemetry"] = clock() - phase_t0
     return PacketSim(
         inject=inject, src=src, dst=dst, flits=flits, message_id=mids,
@@ -609,6 +629,7 @@ def simulate_packets(
         engine=resolved, epochs=epochs, components=components,
         telemetry=census,
         phase_timings=timings,
+        trace=trace if attribution else None,
     )
 
 
@@ -995,6 +1016,7 @@ def simulate_transfers(
     engine: str = "auto",
     flow_control=FLOW_CONTROL_FROM_PARAMS,
     telemetry: bool = False,
+    attribution: bool = False,
     profile: "bool | None" = None,
 ) -> SimReport:
     """Convenience wrapper: simulate ``(src, dst, bytes)`` transfers."""
@@ -1011,5 +1033,6 @@ def simulate_transfers(
         engine=engine,
         flow_control=flow_control,
         telemetry=telemetry,
+        attribution=attribution,
         profile=profile,
     )

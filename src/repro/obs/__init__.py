@@ -35,6 +35,7 @@ from .trace import (
     NULL_TRACER,
     NullTracer,
     TRACE_ENV,
+    TRACE_MAX_MB_ENV,
     Tracer,
     default_tracer,
     resolve_tracer,
@@ -54,12 +55,18 @@ __all__ = [
     "Stopwatch",
     "StreamingStats",
     "TRACE_ENV",
+    "TRACE_MAX_MB_ENV",
+    "TraceTail",
     "Tracer",
+    "attribution_summary",
     "clock",
     "default_tracer",
+    "histogram_quantiles",
     "merge_traces",
     "phase_breakdown",
     "render_report",
+    "render_watch",
+    "report_data",
     "resolve_tracer",
     "slowest_cases",
     "summarize_metrics",
@@ -72,9 +79,12 @@ __all__ = [
 ]
 
 _REPORT_EXPORTS = {
+    "attribution_summary",
+    "histogram_quantiles",
     "merge_traces",
     "phase_breakdown",
     "render_report",
+    "report_data",
     "slowest_cases",
     "summarize_metrics",
     "task_eval_summary",
@@ -82,13 +92,22 @@ _REPORT_EXPORTS = {
     "worker_timeline",
 }
 
+_WATCH_EXPORTS = {
+    "TraceTail",
+    "render_watch",
+}
+
 
 def __getattr__(name: str):
-    # Report helpers load lazily: repro.obs.report renders through
-    # repro.eval.report, and eager import here would cycle with the
-    # eval modules that import repro.obs at module level.
+    # Report/watch helpers load lazily: repro.obs.report renders
+    # through repro.eval.report, and eager import here would cycle
+    # with the eval modules that import repro.obs at module level.
     if name in _REPORT_EXPORTS:
         from . import report
 
         return getattr(report, name)
+    if name in _WATCH_EXPORTS:
+        from . import watch
+
+        return getattr(watch, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,8 +2,12 @@
 
 Subcommands:
 
-* ``report`` -- render the merged phase/worker/slowest-case report for
-  one or more trace directories (or individual ``.jsonl`` files).
+* ``report`` -- render the merged phase/worker/slowest-case/attribution
+  report for one or more trace directories (or individual ``.jsonl``
+  files); ``--json`` emits the same data machine-readably.
+* ``watch`` -- live monitor: tail a trace directory while a fleet is
+  draining, re-rendering fleet progress, metrics quantiles, slowest
+  cases and latency attribution every ``--interval`` seconds.
 * ``merge`` -- merge trace sources into a single JSONL stream on
   stdout or ``--out``, ordered by ``(t, worker, run, seq)``.
 """
@@ -14,10 +18,12 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .report import merge_traces, render_report
+from .report import merge_traces, render_report, report_data
+from .watch import TraceTail, render_watch
 
 
 def _emit(text: str) -> bool:
@@ -53,6 +59,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10,
         help="how many slowest cases to list (default 10)",
     )
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the report as one JSON document instead of tables",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="live-tail a trace directory while a fleet drains"
+    )
+    watch.add_argument(
+        "directory",
+        help="trace directory to tail (may not exist yet)",
+    )
+    watch.add_argument(
+        "--store", default=None,
+        help="ResultStore root; shows live lease count from its claims/",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default 2.0)",
+    )
+    watch.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N polls (0 = run until interrupted)",
+    )
+    watch.add_argument(
+        "--expect", type=int, default=None,
+        help="total expected cases; draws a fleet-wide progress bar",
+    )
+    watch.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest cases to list per frame (default 5)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (same as --iterations 1)",
+    )
 
     merge = sub.add_parser(
         "merge", help="merge traces into one ordered JSONL stream"
@@ -68,15 +110,46 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_watch(args) -> int:
+    tail = TraceTail(args.directory)
+    claims_dir = Path(args.store) / "claims" if args.store else None
+    iterations = 1 if args.once else args.iterations
+    polls = 0
+    try:
+        while True:
+            tail.poll()
+            frame = render_watch(
+                tail.records,
+                top=args.top,
+                expect=args.expect,
+                claims_dir=claims_dir,
+            )
+            stamp = time.strftime("%H:%M:%S")
+            if not _emit(f"--- watch @ {stamp} ---\n{frame}"):
+                return 0
+            polls += 1
+            if iterations and polls >= iterations:
+                return 0
+            time.sleep(max(args.interval, 0.0))
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
         try:
-            _emit(render_report(*args.sources, top=args.top))
+            if args.json:
+                data = report_data(*args.sources, top=args.top)
+                _emit(json.dumps(data, indent=2, default=str, sort_keys=True))
+            else:
+                _emit(render_report(*args.sources, top=args.top))
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         return 0
+    if args.command == "watch":
+        return _run_watch(args)
     if args.command == "merge":
         try:
             records = merge_traces(*args.sources)

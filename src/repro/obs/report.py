@@ -27,11 +27,14 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
+    "attribution_summary",
+    "histogram_quantiles",
     "iter_trace_files",
     "load_trace_file",
     "merge_traces",
     "phase_breakdown",
     "render_report",
+    "report_data",
     "slowest_cases",
     "summarize_metrics",
     "task_eval_summary",
@@ -261,17 +264,31 @@ def summarize_metrics(records: Sequence[Mapping]) -> Dict[str, object]:
                 histograms[name] = {
                     "count": int(snap.get("count", 0)),
                     "sum": float(snap.get("sum", 0.0)),
+                    "min": snap.get("min"),
                     "max": snap.get("max"),
+                    # All registries share the fixed default bounds;
+                    # the first snapshot's bounds stand for the fleet
+                    # (``None`` for pre-bounds traces -- quantile
+                    # estimation then degrades gracefully).
+                    "bounds": list(snap["bounds"])
+                    if snap.get("bounds") else None,
                     "counts": list(snap.get("counts") or []),
                 }
                 continue
             agg["count"] += int(snap.get("count", 0))
             agg["sum"] += float(snap.get("sum", 0.0))
+            snap_min = snap.get("min")
+            if snap_min is not None and (
+                agg["min"] is None or float(snap_min) < float(agg["min"])
+            ):
+                agg["min"] = snap_min
             snap_max = snap.get("max")
             if snap_max is not None and (
                 agg["max"] is None or float(snap_max) > float(agg["max"])
             ):
                 agg["max"] = snap_max
+            if agg.get("bounds") is None and snap.get("bounds"):
+                agg["bounds"] = list(snap["bounds"])
             snap_counts = list(snap.get("counts") or [])
             if len(snap_counts) == len(agg["counts"]):
                 agg["counts"] = [
@@ -282,6 +299,104 @@ def summarize_metrics(records: Sequence[Mapping]) -> Dict[str, object]:
         "gauges": dict(sorted(gauges.items())),
         "histograms": dict(sorted(histograms.items())),
     }
+
+
+def histogram_quantiles(
+    snapshot: Mapping[str, object],
+    qs: Sequence[float] = (0.5, 0.95, 0.99),
+) -> Optional[List[float]]:
+    """Quantile estimates from a log-bucket histogram snapshot.
+
+    ``snapshot`` is one entry of :func:`summarize_metrics`'s
+    ``histograms`` (or a raw :meth:`~repro.obs.metrics
+    .Histogram.snapshot`): ``counts`` per bucket plus the ascending
+    upper-edge ``bounds``.  Each quantile interpolates linearly within
+    its bucket -- bucket ``i`` spans ``(bounds[i-1], bounds[i]]``, the
+    first bucket starts at the observed ``min`` (0 without one) and the
+    overflow bucket ends at the observed ``max``.  Estimates are
+    clamped to the exact ``[min, max]`` the snapshot carries.  Returns
+    ``None`` when the snapshot has no samples or no usable bounds.
+    """
+    counts = [int(c) for c in (snapshot.get("counts") or [])]
+    bounds = snapshot.get("bounds")
+    total = sum(counts)
+    if total <= 0 or not bounds or len(counts) != len(bounds) + 1:
+        return None
+    bounds = [float(b) for b in bounds]
+    lo = snapshot.get("min")
+    hi = snapshot.get("max")
+    lo = float(lo) if lo is not None else 0.0
+    hi = float(hi) if hi is not None else bounds[-1]
+    edges = [min(lo, bounds[0])] + bounds + [max(hi, bounds[-1])]
+    out: List[float] = []
+    for q in qs:
+        rank = max(0.0, min(1.0, float(q))) * total
+        seen = 0.0
+        estimate = hi
+        for i, count in enumerate(counts):
+            if count and seen + count >= rank:
+                left, right = edges[i], edges[i + 1]
+                frac = (rank - seen) / count
+                estimate = left + (right - left) * frac
+                break
+            seen += count
+        out.append(min(max(estimate, lo), hi))
+    return out
+
+
+def attribution_summary(
+    metrics: Mapping[str, object],
+) -> List[Tuple[str, object, str]]:
+    """Latency-attribution rows from fleet counters.
+
+    Reads a :func:`summarize_metrics` result and renders (a) the
+    packet-journey component totals the ``attr_*_cycles`` counters
+    accumulated (:func:`repro.net.journey.latency_breakdown` increments
+    them per traced run) and (b) ``evaluate_task``'s comm-vs-compute
+    critical-path counters.  Each row is ``(label, value, share)``;
+    empty when the trace recorded no attribution.
+    """
+    counters = metrics.get("counters") or {}
+    rows: List[Tuple[str, object, str]] = []
+    runs = int(counters.get("attr_runs", 0))
+    if runs:
+        latency = int(counters.get("attr_latency_cycles", 0))
+        rows.append(("attributed runs", runs, ""))
+        rows.append((
+            "attributed packets", int(counters.get("attr_packets", 0)), ""
+        ))
+        for component in ("injection_wait", "queue_wait", "credit_stall",
+                          "serialization", "pipeline"):
+            cycles = int(counters.get(f"attr_{component}_cycles", 0))
+            rows.append((
+                f"{component} cycles", cycles,
+                f"{cycles / latency:.1%}" if latency else "",
+            ))
+        rows.append(("total latency cycles", latency, "100.0%"))
+    comm_layers = int(counters.get("task_layers_comm_bound", 0))
+    compute_layers = int(counters.get("task_layers_compute_bound", 0))
+    if comm_layers or compute_layers:
+        comm_cycles = int(counters.get("task_comm_critical_cycles", 0))
+        compute_cycles = int(counters.get("task_compute_critical_cycles", 0))
+        critical = comm_cycles + compute_cycles
+        layers = comm_layers + compute_layers
+        rows.append((
+            "task layers comm-bound", comm_layers,
+            f"{comm_layers / layers:.1%}" if layers else "",
+        ))
+        rows.append((
+            "task layers compute-bound", compute_layers,
+            f"{compute_layers / layers:.1%}" if layers else "",
+        ))
+        rows.append((
+            "task comm critical cycles", comm_cycles,
+            f"{comm_cycles / critical:.1%}" if critical else "",
+        ))
+        rows.append((
+            "task compute critical cycles", compute_cycles,
+            f"{compute_cycles / critical:.1%}" if critical else "",
+        ))
+    return rows
 
 
 def task_eval_summary(
@@ -387,21 +502,70 @@ def render_report(*sources, top: int = 10) -> str:
             task_eval,
             title="task evaluation",
         ))
-    if metrics["histograms"]:
+    attribution = attribution_summary(metrics)
+    if attribution:
         parts.append(format_table(
-            ("histogram", "count", "sum_s", "mean_s", "max_s"),
-            [
-                (
-                    name,
-                    h["count"],
-                    h["sum"],
-                    (h["sum"] / h["count"]) if h["count"] else 0.0,
-                    float(h["max"]) if h["max"] is not None else 0.0,
-                )
-                for name, h in metrics["histograms"].items()
-            ],
+            ("metric", "value", "share"),
+            attribution,
+            title="latency attribution",
+        ))
+    if metrics["histograms"]:
+        rows = []
+        for name, h in metrics["histograms"].items():
+            quantiles = histogram_quantiles(h) or (0.0, 0.0, 0.0)
+            rows.append((
+                name,
+                h["count"],
+                h["sum"],
+                (h["sum"] / h["count"]) if h["count"] else 0.0,
+                *quantiles,
+                float(h["max"]) if h["max"] is not None else 0.0,
+            ))
+        parts.append(format_table(
+            ("histogram", "count", "sum_s", "mean_s", "p50_s", "p95_s",
+             "p99_s", "max_s"),
+            rows,
             title="latency histograms",
             float_format="{:.4f}",
         ))
 
     return "\n\n".join(parts)
+
+
+def report_data(*sources, top: int = 10) -> Dict[str, object]:
+    """Machine-readable counterpart of :func:`render_report`.
+
+    One JSON-serialisable dict per merged trace set -- what ``python -m
+    repro.obs report --json`` emits, and what CI steps or a service
+    layer consume instead of screen-scraping the tables.  Histogram
+    entries gain ``p50``/``p95``/``p99`` estimates
+    (:func:`histogram_quantiles`) where bounds are available.
+    """
+    records = merge_traces(*sources)
+    metrics = summarize_metrics(records)
+    for snapshot in metrics["histograms"].values():
+        quantiles = histogram_quantiles(snapshot)
+        if quantiles is not None:
+            snapshot["p50"], snapshot["p95"], snapshot["p99"] = quantiles
+    return {
+        "records": len(records),
+        "workers": sorted(
+            {str(r.get("worker", "")) for r in records} - {""}
+        ),
+        "phases": phase_breakdown(records),
+        "worker_cases": worker_case_counts(records),
+        "worker_timeline": [
+            {"worker": worker, "bar": bar}
+            for worker, bar in worker_timeline(records)
+        ],
+        "slowest_cases": slowest_cases(records, top=top),
+        "metrics": metrics,
+        "task_eval": [
+            {"metric": label, "value": value}
+            for label, value in task_eval_summary(metrics)
+        ],
+        "attribution": [
+            {"metric": label, "value": value, "share": share}
+            for label, value, share in attribution_summary(metrics)
+        ],
+    }

@@ -44,6 +44,7 @@ import os
 import socket
 import threading
 import uuid
+from multiprocessing import util as mp_util
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -53,6 +54,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "TRACE_ENV",
+    "TRACE_MAX_MB_ENV",
     "Tracer",
     "default_tracer",
     "resolve_tracer",
@@ -62,6 +64,23 @@ __all__ = [
 
 #: Environment knob: a directory path enables tracing process-wide.
 TRACE_ENV = "REPRO_TRACE"
+
+#: Environment knob: cap each trace file at roughly this many
+#: megabytes; when a flush would push past the cap the tracer rolls
+#: over to ``<name>-partN.jsonl``.  Unset/empty = unbounded (the
+#: pre-rotation behaviour).
+TRACE_MAX_MB_ENV = "REPRO_TRACE_MAX_MB"
+
+
+def _env_max_bytes() -> Optional[int]:
+    raw = os.environ.get(TRACE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        max_bytes = int(float(raw) * 1_000_000)
+    except ValueError:
+        return None
+    return max_bytes if max_bytes > 0 else None
 
 
 def tracing_enabled() -> bool:
@@ -182,6 +201,15 @@ class Tracer(NullTracer):
             lines only, so crash loss is bounded by the buffer and
             tears are impossible.
         filename: Optional explicit file name inside ``directory``.
+        max_bytes: Rotate to ``<name>-partN.jsonl`` once the current
+            file holds at least this many bytes (checked before each
+            flush, so rollover always lands on a line boundary and the
+            ``O_APPEND`` atomicity contract is untouched).  ``None``
+            (default) reads ``REPRO_TRACE_MAX_MB`` from the
+            environment; unset there too means unbounded.
+            :func:`~repro.obs.report.merge_traces` orders by
+            ``(t, worker, run, seq)``, so rotated parts merge back
+            seamlessly.
     """
 
     enabled = True
@@ -193,6 +221,7 @@ class Tracer(NullTracer):
         worker: str = "",
         buffer_records: int = 64,
         filename: Optional[str] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -203,6 +232,14 @@ class Tracer(NullTracer):
         self.path = self.directory / (
             filename or f"trace-{self.host}-{self.pid}-{self.run}.jsonl"
         )
+        self.max_bytes = (
+            _env_max_bytes() if max_bytes is None else
+            (int(max_bytes) if int(max_bytes) > 0 else None)
+        )
+        self._stem = self.path.name[:-len(".jsonl")] \
+            if self.path.name.endswith(".jsonl") else self.path.name
+        self._part = 0
+        self._written: Optional[int] = None
         self._buffer_records = max(1, int(buffer_records))
         self._lock = threading.Lock()
         self._pending: list = []
@@ -233,6 +270,20 @@ class Tracer(NullTracer):
             return
         payload = ("\n".join(self._pending) + "\n").encode("utf-8")
         self._pending.clear()
+        if self.max_bytes is not None:
+            if self._written is None:
+                # Lazily adopt pre-existing bytes (a pinned shared
+                # ``filename`` may already hold another run's records).
+                try:
+                    self._written = self.path.stat().st_size
+                except OSError:
+                    self._written = 0
+            if self._written and self._written >= self.max_bytes:
+                self._part += 1
+                self.path = self.directory / (
+                    f"{self._stem}-part{self._part}.jsonl"
+                )
+                self._written = 0
         fd = os.open(
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
@@ -240,6 +291,8 @@ class Tracer(NullTracer):
             os.write(fd, payload)
         finally:
             os.close(fd)
+        if self._written is not None:
+            self._written += len(payload)
 
     # -- public API --------------------------------------------------------
 
@@ -305,6 +358,15 @@ def default_tracer() -> NullTracer:
         if tracer is None:
             tracer = _DEFAULT[key] = Tracer(directory)
             atexit.register(_close_default, key)
+            # Forked multiprocessing children (ProcessPoolExecutor
+            # workers) exit through multiprocessing's bootstrap, which
+            # runs its own finalizers but NOT atexit hooks -- without
+            # this, a pool worker's buffered records and metrics
+            # snapshot would be lost.  _close_default pops the key, so
+            # whichever of the two hooks fires first wins and the
+            # other is a no-op.
+            mp_util.Finalize(None, _close_default, args=(key,),
+                             exitpriority=100)
     return tracer
 
 

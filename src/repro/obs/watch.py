@@ -1,0 +1,186 @@
+"""Live fleet monitor: tail a trace directory, re-render progress.
+
+``python -m repro.obs watch <trace-dir>`` is the read side of the
+progress-streaming story (ROADMAP item 1): while a fleet drains a grid,
+every worker appends spans/metrics to its own JSONL file; the watcher
+incrementally tails the whole directory and re-renders drain progress,
+per-worker case counts, metrics (with histogram quantiles), the slowest
+cases so far, and the latency-attribution section -- the same
+aggregations the post-hoc ``report`` subcommand uses, so the live view
+converges to exactly the final report.
+
+:class:`TraceTail` owns the incremental reading: per-file byte offsets,
+consuming only up to the last complete newline (an in-flight
+``O_APPEND`` write may not have landed yet -- the torn-tail tolerance of
+the batch readers, applied continuously), re-scanning the directory
+each poll so late-joining workers and rotated ``-partN`` files are
+picked up, and tolerating a directory that does not exist yet (the
+watcher may start before the first worker).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from .report import (
+    attribution_summary,
+    histogram_quantiles,
+    merge_traces,
+    slowest_cases,
+    summarize_metrics,
+    worker_case_counts,
+)
+
+__all__ = [
+    "TraceTail",
+    "render_watch",
+]
+
+
+class TraceTail:
+    """Incremental reader over a growing trace directory.
+
+    Each :meth:`poll` scans ``directory`` (recursively) for ``*.jsonl``
+    files, reads every file from its last-consumed byte offset up to
+    its last complete newline, parses the new records (unparsable lines
+    are skipped, exactly like the batch loader) and appends them to
+    :attr:`records`.  Offsets persist across polls, so a poll costs
+    only the newly-appended bytes.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.records: List[dict] = []
+        self._offsets: Dict[Path, int] = {}
+
+    def poll(self) -> int:
+        """Consume newly-appended trace data; returns new record count."""
+        if not self.directory.is_dir():
+            return 0
+        new = 0
+        for path in sorted(self.directory.rglob("*.jsonl")):
+            if not path.is_file():
+                continue
+            new += self._consume(path)
+        return new
+
+    def _consume(self, path: Path) -> int:
+        offset = self._offsets.get(path, 0)
+        try:
+            with path.open("rb") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+        except OSError:
+            return 0
+        if not chunk:
+            return 0
+        # Only complete lines count; a torn tail stays unconsumed and
+        # is re-read (whole) on a later poll once its newline lands.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return 0
+        self._offsets[path] = offset + end + 1
+        new = 0
+        for line in chunk[:end].split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            if isinstance(record, Mapping):
+                self.records.append(dict(record))
+                new += 1
+        return new
+
+
+def _count_leases(claims_dir) -> Optional[int]:
+    claims = Path(claims_dir)
+    if not claims.is_dir():
+        return None
+    return sum(1 for p in claims.glob("*.lease") if p.is_file())
+
+
+def render_watch(
+    records: List[dict],
+    *,
+    top: int = 5,
+    expect: Optional[int] = None,
+    claims_dir=None,
+) -> str:
+    """One frame of the live monitor, as plain text.
+
+    Args:
+        records: The records tailed so far (any order -- they are
+            merge-ordered here, so the frame equals what the post-hoc
+            report would say about the same records).
+        top: Slowest cases to list.
+        expect: Total expected cases; draws the fleet-wide progress bar
+            when given.
+        claims_dir: A store's ``claims/`` directory; when given, the
+            frame shows the live in-flight lease count.
+    """
+    from repro.eval.report import format_shard_progress, format_table
+
+    merged = merge_traces(records)
+    parts: List[str] = []
+
+    counts = worker_case_counts(merged)
+    done = sum(per["total"] for per in counts.values())
+    header = f"{len(merged)} trace records, {len(counts)} active workers"
+    leases = _count_leases(claims_dir) if claims_dir else None
+    if leases is not None:
+        header += f", {leases} leases in flight"
+    parts.append(header)
+    if expect:
+        parts.append(format_shard_progress(done, expect, label="fleet"))
+    if counts:
+        outcomes = sorted(
+            {k for per in counts.values() for k in per} - {"total"}
+        )
+        parts.append(format_table(
+            ("worker", "total", *outcomes),
+            [
+                (worker, per["total"], *(per.get(o, 0) for o in outcomes))
+                for worker, per in sorted(counts.items())
+            ],
+            title="per-worker case counts",
+        ))
+
+    metrics = summarize_metrics(merged)
+    if metrics["histograms"]:
+        rows = []
+        for name, snapshot in metrics["histograms"].items():
+            quantiles = histogram_quantiles(snapshot) or (0.0, 0.0, 0.0)
+            rows.append((name, snapshot["count"], *quantiles))
+        parts.append(format_table(
+            ("histogram", "count", "p50_s", "p95_s", "p99_s"),
+            rows,
+            title="latency histograms",
+            float_format="{:.4f}",
+        ))
+
+    slow = slowest_cases(merged, top=top)
+    if slow:
+        parts.append(format_table(
+            ("case", "worker", "outcome", "dur_s"),
+            [
+                (c["case"], c["worker"], c["outcome"], c["dur_s"])
+                for c in slow
+            ],
+            title=f"top {len(slow)} slowest cases",
+            float_format="{:.4f}",
+        ))
+
+    attribution = attribution_summary(metrics)
+    if attribution:
+        parts.append(format_table(
+            ("metric", "value", "share"),
+            attribution,
+            title="latency attribution",
+        ))
+
+    return "\n\n".join(parts)

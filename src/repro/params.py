@@ -99,6 +99,16 @@ class NoIParams:
     #: run, e.g. as a sweep override when validating a new tier.
     sim_engine: str = "auto"
 
+    #: Packet-simulator latency attribution: when truthy, experiment
+    #: evaluators pass ``attribution=True`` to
+    #: :func:`repro.net.simulator.simulate_packets`, reduce the grant
+    #: trace with :func:`repro.net.journey.latency_breakdown`, and ship
+    #: the per-component/per-link arrays through the sweep result's
+    #: npz payload.  Off by default (the trace costs memory
+    #: proportional to total hops).  Sweep overrides arrive as floats;
+    #: consumers coerce with ``bool(...)``.
+    sim_attribution: bool = False
+
     def flow_control(self):
         """Materialise the ``fc_*`` knobs as a ``FlowControlParams``.
 

@@ -1,0 +1,349 @@
+"""Unit tests: trace rotation, histogram quantiles, report --json, watch.
+
+Satellite coverage for the live-monitor tentpole: ``REPRO_TRACE_MAX_MB``
+rolls trace files over to ``-partN.jsonl`` pieces that merge back
+seamlessly; log-bucket histogram snapshots yield p50/p95/p99 estimates;
+``python -m repro.obs report --json`` emits the report machine-readably;
+:class:`~repro.obs.watch.TraceTail` consumes a growing trace directory
+incrementally (torn tails excluded, rotated/late files picked up); and a
+watched 3-worker drain reconstructs exactly the fleet state the post-hoc
+report computes from the same directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.eval import ResultStore, evaluate_comm_case, sweep_grid
+from repro.eval.shard import drain_cases
+from repro.obs import (
+    TRACE_MAX_MB_ENV,
+    MetricsRegistry,
+    Tracer,
+    histogram_quantiles,
+    merge_traces,
+    report_data,
+    worker_case_counts,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.obs.watch import TraceTail, render_watch
+
+
+def _spans(tracer, n, worker="w0"):
+    for i in range(n):
+        tracer.record_span("drain_case", 10.0 + i, 0.01,
+                           case=f"c{i}", outcome="evaluated")
+
+
+def _pool_probe(i):
+    """Emit one event + counter through the env-default tracer."""
+    from repro.obs import REGISTRY, default_tracer
+
+    REGISTRY.counter("probe_count").inc()
+    default_tracer().event("probe", i=i)
+    return os.getpid()
+
+
+class TestPoolWorkerTraces:
+    def test_forked_pool_workers_flush_at_exit(self, tmp_path,
+                                               monkeypatch):
+        """Fork-started pool children skip atexit; Finalize must fire.
+
+        Forked multiprocessing children exit through the bootstrap's
+        finalizer pass, not atexit -- without the Finalize hook every
+        pool worker's buffered records and metrics snapshot vanish,
+        and a traced ``SweepRunner`` fleet reports an empty fleet.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pids = set(pool.map(_pool_probe, range(4)))
+        records = merge_traces(tmp_path)
+        events = [r for r in records if r.get("kind") == "event"]
+        assert len(events) == 4
+        assert {r["pid"] for r in events} == pids
+        from repro.obs import summarize_metrics
+
+        assert summarize_metrics(records)["counters"]["probe_count"] == 4
+
+
+# ---------------------------------------------------------------------------
+# trace-file rotation
+
+
+class TestRotation:
+    def test_rollover_produces_parts(self, tmp_path):
+        tracer = Tracer(tmp_path, worker="w0", buffer_records=1,
+                        max_bytes=500)
+        _spans(tracer, 40)
+        tracer.close()
+        files = sorted(p.name for p in tmp_path.glob("*.jsonl"))
+        assert len(files) > 1
+        assert sum("-part" in name for name in files) == len(files) - 1
+
+    def test_parts_merge_seamlessly(self, tmp_path):
+        tracer = Tracer(tmp_path, worker="w0", buffer_records=4,
+                        max_bytes=400)
+        _spans(tracer, 50)
+        tracer.close()
+        merged = merge_traces(tmp_path)
+        assert len(merged) == 50
+        # Merge order restores the emission order exactly: seq is
+        # contiguous and the per-case payloads survive rotation.
+        assert [r["seq"] for r in merged] == list(range(50))
+        assert [r["case"] for r in merged] == [f"c{i}" for i in range(50)]
+        assert worker_case_counts(merged)["w0"]["total"] == 50
+
+    def test_rollover_lands_on_line_boundaries(self, tmp_path):
+        tracer = Tracer(tmp_path, worker="w0", buffer_records=3,
+                        max_bytes=300)
+        _spans(tracer, 30)
+        tracer.close()
+        for path in tmp_path.glob("*.jsonl"):
+            content = path.read_bytes()
+            assert content.endswith(b"\n")
+            for line in content.splitlines():
+                json.loads(line)  # every line complete and parsable
+
+    def test_env_knob(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_MAX_MB_ENV, "0.0004")  # 400 bytes
+        tracer = Tracer(tmp_path, worker="w0", buffer_records=1)
+        assert tracer.max_bytes == 400
+        _spans(tracer, 20)
+        tracer.close()
+        assert any("-part" in p.name for p in tmp_path.glob("*.jsonl"))
+        assert len(merge_traces(tmp_path)) == 20
+
+    @pytest.mark.parametrize("raw", ["", "nonsense", "0", "-3"])
+    def test_env_knob_ignores_bad_values(self, tmp_path, monkeypatch, raw):
+        monkeypatch.setenv(TRACE_MAX_MB_ENV, raw)
+        tracer = Tracer(tmp_path, worker="w0")
+        assert tracer.max_bytes is None
+
+    def test_unbounded_by_default(self, tmp_path):
+        tracer = Tracer(tmp_path, worker="w0", buffer_records=1)
+        _spans(tracer, 40)
+        tracer.close()
+        assert len(list(tmp_path.glob("*.jsonl"))) == 1
+
+
+# ---------------------------------------------------------------------------
+# histogram quantiles
+
+
+class TestHistogramQuantiles:
+    def _snapshot(self, observations):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in observations:
+            h.observe(v)
+        return reg.snapshot()["histograms"]["lat"]
+
+    def test_median_in_right_bucket(self):
+        snap = self._snapshot([0.01] * 100)
+        p50, p95, p99 = histogram_quantiles(snap)
+        # All mass in one log bucket: every quantile inside it.
+        assert 0.004 <= p50 <= 0.017
+        assert p50 <= p95 <= p99 <= 0.017
+
+    def test_tail_quantiles_split_mixture(self):
+        snap = self._snapshot([0.001] * 96 + [1.0] * 4)
+        p50, p95, p99 = histogram_quantiles(snap)
+        assert p50 < 0.01       # bulk bucket
+        assert p99 > 0.2        # tail bucket
+        assert p50 <= p95 <= p99
+
+    def test_clamped_to_observed_range(self):
+        snap = self._snapshot([0.02, 0.03, 0.04])
+        quantiles = histogram_quantiles(snap)
+        assert all(0.02 <= q <= 0.04 for q in quantiles)
+
+    def test_empty_and_boundless_snapshots(self):
+        assert histogram_quantiles({"count": 0}) is None
+        # Pre-rotation traces carry no bounds: degrade, don't crash.
+        assert histogram_quantiles(
+            {"count": 5, "counts": [5], "min": 0.1, "max": 0.2}
+        ) is None
+
+    def test_custom_qs(self):
+        snap = self._snapshot([0.01] * 10)
+        assert len(histogram_quantiles(snap, qs=(0.25, 0.75))) == 2
+
+
+# ---------------------------------------------------------------------------
+# report --json
+
+
+class TestReportJson:
+    def _trace(self, directory):
+        tracer = Tracer(directory, worker="w0", buffer_records=1)
+        _spans(tracer, 3)
+        reg = MetricsRegistry()
+        reg.counter("cases_evaluated").inc(3)
+        reg.histogram("case_latency_s").observe(0.01)
+        tracer.metrics(reg)
+        tracer.close()
+
+    def test_cli_emits_valid_json(self, tmp_path, capsys):
+        self._trace(tmp_path)
+        assert obs_main(["report", str(tmp_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workers"] == ["w0"]
+        assert data["worker_cases"]["w0"]["total"] == 3
+        assert data["records"] == 4  # 3 spans + 1 metrics snapshot
+        assert len(data["slowest_cases"]) == 3
+        counters = data["metrics"]["counters"]
+        assert counters["cases_evaluated"] == 3
+
+    def test_json_matches_report_data(self, tmp_path, capsys):
+        self._trace(tmp_path)
+        assert obs_main(["report", str(tmp_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        direct = json.loads(json.dumps(
+            report_data(str(tmp_path)), default=str
+        ))
+        assert data == direct
+
+    def test_json_histograms_carry_quantiles(self, tmp_path, capsys):
+        self._trace(tmp_path)
+        assert obs_main(["report", str(tmp_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        hist = data["metrics"]["histograms"]["case_latency_s"]
+        assert {"p50", "p95", "p99"} <= set(hist)
+        assert hist["p50"] <= hist["p95"] <= hist["p99"]
+
+
+# ---------------------------------------------------------------------------
+# TraceTail
+
+
+class TestTraceTail:
+    def test_missing_directory_tolerated(self, tmp_path):
+        tail = TraceTail(tmp_path / "not-yet")
+        assert tail.poll() == 0
+        assert tail.records == []
+
+    def test_incremental_consumption(self, tmp_path):
+        path = tmp_path / "trace-h-1-r.jsonl"
+        rec = {"kind": "event", "name": "x", "t": 1.0, "seq": 0,
+               "worker": "w", "run": "r", "pid": 1, "host": "h"}
+        path.write_text(json.dumps(rec) + "\n")
+        tail = TraceTail(tmp_path)
+        assert tail.poll() == 1
+        assert tail.poll() == 0  # nothing new, nothing re-read
+        with path.open("a") as fh:
+            fh.write(json.dumps({**rec, "seq": 1}) + "\n")
+        assert tail.poll() == 1
+        assert [r["seq"] for r in tail.records] == [0, 1]
+
+    def test_torn_tail_not_consumed(self, tmp_path):
+        path = tmp_path / "trace-h-1-r.jsonl"
+        rec = {"kind": "event", "name": "x", "t": 1.0, "seq": 0,
+               "worker": "w", "run": "r", "pid": 1, "host": "h"}
+        complete = json.dumps(rec) + "\n"
+        torn = json.dumps({**rec, "seq": 1})
+        path.write_text(complete + torn[:10])  # mid-write tail
+        tail = TraceTail(tmp_path)
+        assert tail.poll() == 1  # only the complete line
+        with path.open("a") as fh:  # the rest of the line lands
+            fh.write(torn[10:] + "\n")
+        assert tail.poll() == 1
+        assert [r["seq"] for r in tail.records] == [0, 1]
+
+    def test_late_and_rotated_files_picked_up(self, tmp_path):
+        tail = TraceTail(tmp_path)
+        tracer = Tracer(tmp_path, worker="w0", buffer_records=1,
+                        max_bytes=400)
+        _spans(tracer, 10)
+        tracer.flush()
+        mid = tail.poll()
+        assert mid > 0
+        _spans(tracer, 10)  # keeps rotating into new -partN files
+        tracer.close()
+        late = Tracer(tmp_path, worker="w1", buffer_records=1)
+        _spans(late, 5, worker="w1")
+        late.close()
+        tail.poll()
+        counts = worker_case_counts(tail.records)
+        assert counts["w0"]["total"] == 20
+        assert counts["w1"]["total"] == 5
+
+
+# ---------------------------------------------------------------------------
+# render_watch + the 3-worker drain acceptance pin
+
+
+class TestRenderWatch:
+    def test_empty_frame(self):
+        frame = render_watch([])
+        assert "0 trace records" in frame
+
+    def test_progress_and_leases(self, tmp_path):
+        tracer = Tracer(tmp_path / "traces", worker="w0",
+                        buffer_records=1)
+        _spans(tracer, 4)
+        tracer.close()
+        claims = tmp_path / "claims"
+        claims.mkdir()
+        (claims / "a.lease").write_text("{}")
+        (claims / "b.lease").write_text("{}")
+        tail = TraceTail(tmp_path / "traces")
+        tail.poll()
+        frame = render_watch(tail.records, expect=8, claims_dir=claims)
+        assert "fleet [" in frame
+        assert "4/8" in frame
+        assert "2 leases in flight" in frame
+        assert "per-worker case counts" in frame
+
+    def test_three_worker_drain_reconstructed(self, tmp_path):
+        """A watched drain's final state == the post-hoc report's."""
+        traces = tmp_path / "traces"
+        store = ResultStore(tmp_path / "store")
+        cases = sweep_grid(archs=("siam", "kite"), sizes=(36,),
+                           workloads=("uniform", "transpose"),
+                           seeds=(0, 1))
+        tail = TraceTail(traces)
+        tail.poll()  # before any worker starts: directory missing
+        reports = []
+        for worker in ("w0", "w1", "w2"):
+            reports.append(drain_cases(
+                store, evaluate_comm_case, cases, worker=worker,
+                trace=Tracer(traces, worker=worker, buffer_records=1,
+                             max_bytes=2000),
+            ))
+            tail.poll()  # live: mid-fleet observation is well-formed
+            render_watch(tail.records, expect=len(cases))
+        tail.poll()
+
+        live = worker_case_counts(tail.records)
+        posthoc = worker_case_counts(merge_traces(traces))
+        assert live == posthoc
+        assert set(live) == {"w0", "w1", "w2"}
+        # The drain reports agree with the trace-derived tallies.
+        for worker, report in zip(("w0", "w1", "w2"), reports):
+            assert live[worker]["total"] == len(cases)
+            assert live[worker].get("evaluated", 0) == report.evaluated
+            assert live[worker].get("hit", 0) == report.store_hits
+
+    def test_watch_cli_once(self, tmp_path, capsys):
+        tracer = Tracer(tmp_path, worker="w0", buffer_records=1)
+        _spans(tracer, 2)
+        tracer.close()
+        assert obs_main([
+            "watch", str(tmp_path), "--once", "--expect", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "watch @" in out
+        assert "2/4" in out
+
+    def test_watch_cli_missing_dir(self, tmp_path, capsys):
+        assert obs_main([
+            "watch", str(tmp_path / "nope"), "--iterations", "2",
+            "--interval", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("0 trace records") == 2
