@@ -1,0 +1,256 @@
+"""Service load gate: warm queries are fast and never re-evaluate.
+
+Acceptance gate for the HTTP sweep service (``repro/svc``).  One
+in-process service is stood up over a fresh store and hit the way the
+millions-of-users story says it will be:
+
+1. **Cold sweep**: ``POST /v1/sweeps`` with a novel comm grid; the
+   in-process worker pool drains it through the lease substrate.  The
+   job must evaluate every case exactly once (zero duplicates across
+   the pool's drain threads).
+2. **Warm swarm**: N concurrent clients mix re-POSTs of the *same*
+   grid (pure cache replay) with repeated ``/v1/results`` aggregate
+   queries and progress/metrics reads.  Gates: every warm sweep
+   performs **zero evaluations**, and the warm-query p99 latency stays
+   under ``P99_FLOOR_S`` -- repeated queries over a quiescent store
+   are dictionary reads, not file I/O, and the latency budget is how
+   that shows up externally.
+
+The cold-sweep vs warm-replay wall-clock ratio joins the drift-watched
+``ratio-history.jsonl`` under ``REPRO_STORE_DIR`` (warn-only, like the
+other ratio gates).  When ``REPRO_STORE_DIR`` is set the service store
+itself lives underneath it, so the per-job trace directories
+(``svc-store/svc-traces/<job>/``) ship inside the sweep-results
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+import urllib.request
+import warnings
+from pathlib import Path
+
+from _bench_utils import quick_mode, run_once
+
+from repro.eval import (
+    append_ratio_history,
+    format_table,
+    load_ratio_history,
+    ratio_drift_warning,
+)
+from repro.svc import start_service
+
+#: Concurrent warm-phase clients.
+CLIENTS = 4
+#: Warm query iterations per client.
+QUERIES_PER_CLIENT = 25
+#: Warm re-POSTed sweeps per client.
+SWEEPS_PER_CLIENT = 2
+#: Hard gate on the warm /v1/results p99 (seconds).  Real values are
+#: single-digit milliseconds; the floor absorbs CI-runner noise.
+P99_FLOOR_S = 1.0
+
+QUERY_PATHS = (
+    "/v1/results?metric=latency_cycles,energy_pj&limit=20",
+    "/v1/results?arch=siam&pivot=latency_cycles",
+    "/v1/results?workload=uniform&metric=latency_cycles&offset=4&limit=4",
+    "/v1/results?seed=0&metric=energy_pj",
+)
+
+
+def _grid() -> dict:
+    if quick_mode():
+        return {
+            "archs": ["siam", "kite"], "sizes": [16],
+            "workloads": ["uniform", "transpose"], "seeds": [0, 1],
+            "tag": "svc-bench",
+        }
+    return {
+        "archs": ["siam", "kite", "floret"], "sizes": [16, 36],
+        "workloads": ["uniform", "transpose"], "seeds": [0, 1, 2, 3],
+        "tag": "svc-bench",
+    }
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def _post(base, path, body):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def _run_sweep(base, grid):
+    """POST the grid, wait for completion, return final progress."""
+    job = _post(base, "/v1/sweeps", {
+        "grid": grid, "evaluator": "evaluate_comm_case",
+    })
+    deadline = time.perf_counter() + 300
+    while True:
+        progress = _get(base, job["status_url"])
+        if progress["state"] == "done":
+            assert not progress["worker_errors"], progress["worker_errors"]
+            assert progress["failed"] == 0, progress["failures"]
+            return progress
+        assert time.perf_counter() < deadline, "sweep never finished"
+        time.sleep(0.02)
+
+
+def _warm_client(base, grid, latencies, sweep_walls, evaluated):
+    """One warm-phase client: cached sweeps + repeated queries."""
+    for _ in range(SWEEPS_PER_CLIENT):
+        t0 = time.perf_counter()
+        progress = _run_sweep(base, grid)
+        sweep_walls.append(time.perf_counter() - t0)
+        evaluated.append(progress["evaluated"])
+    for i in range(QUERIES_PER_CLIENT):
+        path = QUERY_PATHS[i % len(QUERY_PATHS)]
+        t0 = time.perf_counter()
+        payload = _get(base, path)
+        latencies.append(time.perf_counter() - t0)
+        assert payload["total"] > 0
+    latencies.append(_timed_get(base, "/v1/metrics"))
+    latencies.append(_timed_get(base, "/v1/healthz"))
+
+
+def _timed_get(base, path):
+    t0 = time.perf_counter()
+    _get(base, path)
+    return time.perf_counter() - t0
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(int(q * (len(ordered) - 1) + 0.999999),
+                       len(ordered) - 1)]
+
+
+def _run(tmp):
+    store_dir = os.environ.get("REPRO_STORE_DIR")
+    root = (Path(store_dir) if store_dir else tmp) / "svc-store"
+    # The bench owns this subdirectory; start cold even when a prior
+    # local run left results behind.
+    shutil.rmtree(root, ignore_errors=True)
+    service = start_service(root, workers=2)
+    server_thread = threading.Thread(
+        target=service.serve_forever, daemon=True
+    )
+    server_thread.start()
+    host, port = service.server_address[:2]
+    base = f"http://{host}:{port}"
+    grid = _grid()
+    total = 1
+    for axis in ("archs", "sizes", "workloads", "seeds"):
+        total *= len(grid[axis])
+    try:
+        # 1. Cold sweep: every case evaluated exactly once.
+        t0 = time.perf_counter()
+        cold = _run_sweep(base, grid)
+        cold_s = time.perf_counter() - t0
+        assert cold["done"] == total
+        assert cold["evaluated"] == total, (
+            f"cold sweep evaluated {cold['evaluated']} of {total} "
+            "(duplicate or missing evaluations)"
+        )
+
+        # 2. Warm swarm: concurrent cached sweeps + repeated queries.
+        latencies: list = []
+        sweep_walls: list = []
+        evaluated: list = []
+        clients = [
+            threading.Thread(
+                target=_warm_client,
+                args=(base, grid, latencies, sweep_walls, evaluated),
+            )
+            for _ in range(CLIENTS)
+        ]
+        t0 = time.perf_counter()
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join()
+        warm_phase_s = time.perf_counter() - t0
+    finally:
+        service.shutdown()
+        service.server_close()
+
+    return {
+        "total": total,
+        "cold_s": cold_s,
+        "warm_phase_s": warm_phase_s,
+        "warm_sweeps": len(sweep_walls),
+        "warm_sweep_mean_s": sum(sweep_walls) / len(sweep_walls),
+        "warm_evaluated": sum(evaluated),
+        "queries": len(latencies),
+        "p50_s": _percentile(latencies, 0.50),
+        "p99_s": _percentile(latencies, 0.99),
+        "replay_speedup": cold_s / max(
+            sum(sweep_walls) / len(sweep_walls), 1e-9
+        ),
+    }
+
+
+def test_service_load(benchmark, tmp_path):
+    out = run_once(benchmark, _run, tmp_path)
+
+    print()
+    print(format_table(
+        ["phase", "requests", "wall (s)", "p50 (s)", "p99 (s)"],
+        [
+            ("cold sweep", 1, out["cold_s"], "-", "-"),
+            (f"warm swarm x{CLIENTS}", out["queries"],
+             out["warm_phase_s"], out["p50_s"], out["p99_s"]),
+        ],
+        title=f"Sweep service over {out['total']} comm cases "
+              f"({CLIENTS} concurrent clients, shared store)",
+        float_format="{:.4f}",
+    ))
+    print(
+        f"warm replay: {out['warm_sweeps']} re-POSTed sweeps, "
+        f"{out['warm_evaluated']} evaluations (must be 0), "
+        f"replay speedup {out['replay_speedup']:.1f}x"
+    )
+
+    store_dir = os.environ.get("REPRO_STORE_DIR")
+    if store_dir:
+        history_path = Path(store_dir) / "ratio-history.jsonl"
+        prior = [
+            record for record in load_ratio_history(history_path)
+            if record.get("bench") == "service"
+            and record.get("quick") == quick_mode()
+        ]
+        drift = ratio_drift_warning(prior, out["replay_speedup"],
+                                    tolerance=0.2)
+        if drift is not None:
+            warnings.warn(f"service drift watch: {drift}", RuntimeWarning)
+            print(f"WARNING: {drift}")
+        append_ratio_history(history_path, {
+            "bench": "service",
+            "quick": quick_mode(),
+            "speedup": round(out["replay_speedup"], 4),
+            "warm_p99_s": round(out["p99_s"], 6),
+            "cases": out["total"],
+            "clients": CLIENTS,
+            "unix_time": round(time.time(), 3),
+        })
+
+    # Hard gates: cached work is free, and it is fast.
+    assert out["warm_evaluated"] == 0, (
+        f"warm sweeps re-evaluated {out['warm_evaluated']} cases; "
+        "cached cases must never be recomputed"
+    )
+    assert out["p99_s"] < P99_FLOOR_S, (
+        f"warm-query p99 {out['p99_s']:.3f}s over the "
+        f"{P99_FLOOR_S}s budget"
+    )

@@ -364,6 +364,7 @@ def drain_cases(
     shard: Optional[ShardSpec] = None,
     lease_ttl_s: float = 30.0,
     poll_s: float = 0.05,
+    max_poll_s: float = 2.0,
     worker: str = "",
     deadline_s: Optional[float] = None,
     trace=None,
@@ -376,9 +377,13 @@ def drain_cases(
     evaluated inline and ``put``.  The call returns when every case is
     either in the store or failed locally (failed evaluations are never
     cached, and each worker retries a failing case at most once).
-    Between passes that make no progress the worker sleeps ``poll_s``
-    -- that is where it waits out live peer leases, and where a crashed
-    peer's lease ages past ``lease_ttl_s`` and gets reaped.
+    Between passes that make no progress the worker sleeps -- that is
+    where it waits out live peer leases, and where a crashed peer's
+    lease ages past ``lease_ttl_s`` and gets reaped.  The sleep starts
+    at ``poll_s`` and doubles per fruitless pass up to ``max_poll_s``
+    (resetting whenever a pass progresses), so a worker parked behind
+    a slow peer scans the store a logarithmic number of times instead
+    of busy-polling at a fixed interval.
 
     Run N processes with ``shard=ShardSpec(i, N)`` for distributed
     execution; parallelism comes from the process count, so each drain
@@ -453,6 +458,8 @@ def drain_cases(
         span_case(i, outcome, start_s, end_s)
         REGISTRY.histogram("drain_case_s").observe(end_s - start_s)
 
+    backoff_s = max(poll_s, 1e-4)
+    max_poll_s = max(max_poll_s, poll_s)
     while True:
         passes += 1
         progressed = False
@@ -500,8 +507,17 @@ def drain_cases(
         if len(done) + len(failed) >= len(cases):
             break
         check_deadline()
-        if not progressed:
-            time.sleep(poll_s)
+        if progressed:
+            backoff_s = max(poll_s, 1e-4)
+        else:
+            # Cap the sleep at the remaining deadline budget so backoff
+            # cannot overshoot a tight deadline by a whole max_poll_s.
+            sleep_s = backoff_s
+            if deadline_s is not None:
+                sleep_s = min(sleep_s,
+                              max(deadline_s - watch.elapsed_s, 0.0))
+            time.sleep(sleep_s)
+            backoff_s = min(backoff_s * 2.0, max_poll_s)
     report = DrainReport(
         worker=board.worker,
         total=len(cases),
@@ -542,6 +558,7 @@ def wait_for_cases(
     *,
     timeout_s: Optional[float] = None,
     poll_s: float = 0.2,
+    max_poll_s: float = 5.0,
     on_progress: Optional[Callable[[int, int], None]] = None,
 ) -> None:
     """Tail the shared store until every case of the grid is present.
@@ -551,12 +568,21 @@ def wait_for_cases(
     outstanding case ids when ``timeout_s`` elapses -- a worker fleet
     that lost its last member leaves the grid permanently short, and a
     coordinator must say which cases are missing, not hang silently.
+
+    The poll interval starts at ``poll_s`` and doubles while the done
+    count stands still, capped at ``max_poll_s`` and reset by any
+    progress -- a coordinator parked behind a long-running fleet scans
+    the store a logarithmic number of times per quiet stretch instead
+    of hammering it at a fixed interval, while a lively fleet is still
+    tailed at ``poll_s`` granularity.
     """
     fingerprint = evaluator_fingerprint(evaluate)
     keys = [case_key(c, fingerprint) for c in cases]
     watch = Stopwatch()
     last = -1
     last_progress_s = 0.0
+    backoff_s = max(poll_s, 1e-4)
+    max_poll_s = max(max_poll_s, poll_s)
     while True:
         missing = store.missing(keys)
         done = len(keys) - len(missing)
@@ -565,6 +591,7 @@ def wait_for_cases(
         if done != last:
             last = done
             last_progress_s = watch.elapsed_s
+            backoff_s = max(poll_s, 1e-4)
         if not missing:
             return
         if watch.expired(timeout_s):
@@ -578,7 +605,13 @@ def wait_for_cases(
                 f"(e.g. {outstanding[:5]}); last progress "
                 f"{watch.elapsed_s - last_progress_s:.1f}s ago"
             )
-        time.sleep(poll_s)
+        sleep_s = backoff_s
+        if timeout_s is not None:
+            # Never sleep past the timeout: the deadline check above
+            # must fire within one poll of it, not one max_poll_s.
+            sleep_s = min(sleep_s, max(timeout_s - watch.elapsed_s, 1e-4))
+        time.sleep(sleep_s)
+        backoff_s = min(backoff_s * 2.0, max_poll_s)
 
 
 def merge_stream(
@@ -736,6 +769,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         shard=shard,
         lease_ttl_s=args.lease_ttl,
         poll_s=args.poll,
+        max_poll_s=args.max_poll,
         worker=args.worker_id,
         deadline_s=args.deadline,
         trace=args.trace or None,
@@ -766,6 +800,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     if args.wait is not None:
         wait_for_cases(
             store, evaluate, cases, timeout_s=args.wait, poll_s=args.poll,
+            max_poll_s=args.max_poll,
             on_progress=lambda done, total: print(
                 format_shard_progress(done, total), flush=True
             ),
@@ -805,7 +840,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     worker.add_argument("--lease-ttl", type=float, default=30.0,
                         help="seconds before a claim counts as orphaned")
     worker.add_argument("--poll", type=float, default=0.05,
-                        help="sleep between no-progress passes")
+                        help="initial sleep between no-progress passes")
+    worker.add_argument("--max-poll", type=float, default=2.0,
+                        help="backoff cap for the no-progress sleep")
     worker.add_argument("--deadline", type=float, default=None,
                         help="give up after this many seconds")
     worker.add_argument("--worker-id", default="",
@@ -822,7 +859,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     merge.add_argument("--wait", type=float, default=None,
                        help="tail the store up to this many seconds first")
     merge.add_argument("--poll", type=float, default=0.2,
-                       help="tail poll interval")
+                       help="initial tail poll interval")
+    merge.add_argument("--max-poll", type=float, default=5.0,
+                       help="backoff cap for the tail poll interval")
     merge.add_argument("--metrics", default="",
                        help="comma-separated metrics to summarise")
     merge.add_argument("--allow-incomplete", action="store_true",

@@ -35,7 +35,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -140,6 +140,11 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     skipped_errors: int = 0
+    #: Shard files actually opened and read by ``_refresh_shard`` --
+    #: the (mtime, size) guard keeps this flat across repeated queries
+    #: over a quiescent store, which is what lets a service answer hot
+    #: queries at memory speed.
+    shard_reads: int = 0
 
     @property
     def consultations(self) -> int:
@@ -175,6 +180,12 @@ class ResultStore:
         self._records: Dict[str, dict] = {}
         #: Bytes of each shard already folded into ``_records``.
         self._consumed: Dict[str, int] = {}
+        #: ``(st_mtime_ns, st_size)`` of each shard at its last
+        #: refresh: an unchanged signature means no appender has
+        #: touched the file, so the refresh can return without opening
+        #: it -- repeated queries over a quiescent store do no read
+        #: I/O beyond one ``stat`` per consulted shard.
+        self._sig: Dict[str, Tuple[int, int]] = {}
 
     # -- keys and paths ----------------------------------------------------
 
@@ -187,21 +198,50 @@ class ResultStore:
     # -- reading -----------------------------------------------------------
 
     def _refresh_shard(self, shard: Path) -> None:
-        """Fold lines appended since the last read into the index."""
-        consumed = self._consumed.get(shard.name, 0)
+        """Fold lines appended since the last read into the index.
+
+        Guarded by an ``(st_mtime_ns, st_size)`` signature: a shard
+        whose signature matches the last refresh has not been touched
+        by any appender, so the method returns after the single
+        ``stat`` -- no open, no read.  This also covers a torn tail
+        (bytes past the last newline): re-reading it before the writer
+        finishes the line cannot yield anything new, and the finishing
+        append changes the signature.  A shard *shorter* than the
+        consumed offset was rewritten out from under us (an external
+        compaction or restore-from-backup); its indexed records are
+        dropped and the file re-read from the start.
+        """
         try:
-            size = shard.stat().st_size
+            stat = shard.stat()
         except FileNotFoundError:
             return
-        if size <= consumed:
+        sig = (stat.st_mtime_ns, stat.st_size)
+        if self._sig.get(shard.name) == sig:
+            return
+        consumed = self._consumed.get(shard.name, 0)
+        size = stat.st_size
+        if size < consumed:
+            # Rewritten shorter: forget everything this shard
+            # contributed (keys carry their shard prefix) and rebuild.
+            prefix = shard.name[len("shard-"):len("shard-") + 2]
+            for key in [k for k in self._records if k[:2] == prefix]:
+                del self._records[key]
+            consumed = 0
+        if size == consumed:
+            self._sig[shard.name] = sig
+            self._consumed[shard.name] = consumed
             return
         with shard.open("rb") as fh:
             fh.seek(consumed)
             chunk = fh.read(size - consumed)
+        self.stats.shard_reads += 1
+        self._sig[shard.name] = sig
         # Never consume past the last newline: the tail may be a line
-        # another process is mid-append on; it is re-read next refresh.
+        # another process is mid-append on; it is re-read (from the
+        # same offset) once a later append moves the signature.
         end = chunk.rfind(b"\n")
         if end < 0:
+            self._consumed[shard.name] = consumed
             return
         for line in chunk[: end + 1].splitlines():
             if not line.strip():
@@ -330,6 +370,17 @@ class ResultStore:
     def keys(self) -> Tuple[str, ...]:
         return tuple(key for key, _ in self._complete_items())
 
+    def iter_records(self) -> Iterator[Tuple[str, dict]]:
+        """All complete ``(key, record)`` pairs, payloads *not* loaded.
+
+        The record dicts are the raw JSONL lines (scalar metrics, case
+        axes, an ``arrays`` flag) -- what the query layer
+        (:mod:`repro.eval.queries`) filters and aggregates over without
+        paying npz I/O per candidate.  Treat the dicts as read-only.
+        Stats-neutral, like :meth:`iter_results`.
+        """
+        return iter(self._complete_items())
+
     def iter_results(self) -> Iterator[SweepResult]:
         """All stored results, cases reconstructed from the records.
 
@@ -337,17 +388,7 @@ class ResultStore:
         inflate the hit counters that describe sweep behaviour.
         """
         for key, record in self._complete_items():
-            case = SweepCase(
-                arch=record["case"]["arch"],
-                num_chiplets=record["case"]["num_chiplets"],
-                workload=record["case"]["workload"],
-                seed=record["case"]["seed"],
-                noi_overrides=_overrides_from_json(
-                    record["case"]["noi_overrides"]
-                ),
-                tag=record["case"].get("tag", ""),
-            )
-            result = self._result_from(key, record, case)
+            result = self._result_from(key, record, case_from_record(record))
             if result is not None:
                 yield result
 
@@ -425,4 +466,17 @@ class ResultStore:
 def _overrides_from_json(pairs) -> Overrides:
     return tuple(
         (str(name), value) for name, value in pairs
+    )
+
+
+def case_from_record(record: Mapping) -> SweepCase:
+    """Rebuild the :class:`SweepCase` a store record was written from."""
+    case = record["case"]
+    return SweepCase(
+        arch=case["arch"],
+        num_chiplets=case["num_chiplets"],
+        workload=case["workload"],
+        seed=case["seed"],
+        noi_overrides=_overrides_from_json(case["noi_overrides"]),
+        tag=case.get("tag", ""),
     )

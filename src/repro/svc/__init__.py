@@ -1,0 +1,36 @@
+"""Sweep-as-a-service: an HTTP API over the store/lease/shard substrate.
+
+``python -m repro.svc serve --store DIR`` puts a stdlib-only HTTP
+service (ROADMAP item 1) in front of the evaluation stack:
+
+* ``POST /v1/sweeps`` -- submit a :class:`~repro.eval.shard.GridSpec`
+  + registered evaluator name; an in-process worker pool drains it
+  through the same ``LeaseBoard``/:func:`~repro.eval.shard.drain_cases`
+  protocol external ``python -m repro.eval.shard worker`` fleets use,
+  so both kinds of worker cooperate on one grid.
+* ``GET /v1/sweeps/{id}`` -- progress (done/total/failed, ETA).
+* ``GET /v1/sweeps/{id}/events`` -- Server-Sent Events; each frame is
+  a :func:`repro.obs.report.report_data` dict (the ``report --json``
+  wire format) over the job's trace directory.
+* ``GET /v1/results`` -- the :mod:`repro.eval.queries` layer: axis/tag
+  filters, deterministic pagination, server-side aggregates.
+* ``GET /v1/healthz`` / ``GET /v1/metrics`` -- liveness + the process
+  metrics-registry snapshot.
+
+Hot scenarios are answered from the content-addressed
+:class:`~repro.eval.store.ResultStore` at memory speed; only novel
+cases cost simulation, and repeated queries over a quiescent store are
+pure dictionary reads (no file I/O).
+"""
+
+from .jobs import EVALUATORS, JobManager, SweepJob, register_evaluator
+from .server import SweepService, start_service
+
+__all__ = [
+    "EVALUATORS",
+    "JobManager",
+    "SweepJob",
+    "SweepService",
+    "register_evaluator",
+    "start_service",
+]

@@ -1,0 +1,54 @@
+"""CLI: ``python -m repro.svc serve --store DIR [--workers N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .server import start_service
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.svc",
+        description="HTTP sweep service over a shared ResultStore.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--store", required=True,
+                       help="shared result-store directory")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback)")
+    serve.add_argument("--port", type=int, default=8035,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="in-process drain threads per sweep job")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="seconds before a claim counts as orphaned")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-job drain deadline in seconds")
+
+    args = parser.parse_args(argv)
+    service = start_service(
+        args.store,
+        host=args.host, port=args.port,
+        workers=args.workers,
+        lease_ttl_s=args.lease_ttl,
+        deadline_s=args.deadline,
+    )
+    host, port = service.server_address[:2]
+    print(f"serving sweeps from {args.store} on http://{host}:{port}",
+          flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

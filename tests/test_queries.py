@@ -1,0 +1,246 @@
+"""Unit tests: the ResultStore query layer (repro.eval.queries)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.queries import (
+    MAX_PAGE_ROWS,
+    ResultQuery,
+    parse_result_query,
+    query_results,
+)
+from repro.eval.store import ResultStore, case_key, evaluator_fingerprint
+from repro.eval.stream import RunningStats
+from repro.eval.sweeps import SweepCase, SweepResult
+
+
+def _eval_q(case):
+    return {"value": float(case.seed + len(case.arch))}
+
+
+FP = evaluator_fingerprint(_eval_q)
+
+
+def _put(store, case, metrics, arrays=None):
+    key = case_key(case, FP)
+    store.put(key, SweepResult(
+        case=case, metrics=metrics, elapsed_s=0.125, arrays=arrays,
+    ))
+    return key
+
+
+@pytest.fixture()
+def filled(tmp_path):
+    """A store mixing axes, tags, overrides, arrays and metric sets."""
+    store = ResultStore(tmp_path)
+    cases = []
+    for arch in ("siam", "kite"):
+        for workload in ("uniform", "neighbor"):
+            for seed in (0, 1):
+                case = SweepCase(
+                    arch=arch, num_chiplets=16, workload=workload,
+                    seed=seed, tag="grid-β" if arch == "siam" else "",
+                )
+                _put(store, case, {
+                    "value": float(seed + len(arch)),
+                    "latency": 10.0 * (seed + 1),
+                })
+                cases.append(case)
+    # One overridden case with an array payload and a sparser metric set.
+    special = SweepCase(
+        arch="siam", num_chiplets=36, workload="uniform", seed=7,
+        noi_overrides=(("flit_bytes", 64),), tag="overridden",
+    )
+    _put(store, special, {"value": 99.0},
+         arrays={"tiers": np.arange(3)})
+    cases.append(special)
+    return ResultStore(tmp_path), cases
+
+
+class TestFilters:
+    def test_empty_query_matches_everything(self, filled):
+        store, cases = filled
+        out = query_results(store, ResultQuery(limit=100))
+        assert out["total"] == len(cases)
+        assert len(out["results"]) == len(cases)
+
+    def test_axis_filters_narrow(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(
+            archs=("siam",), workloads=("uniform",), seeds=(0,),
+            sizes=(16,),
+        ))
+        assert out["total"] == 1
+        row = out["results"][0]
+        assert row["case"]["arch"] == "siam"
+        assert row["case"]["workload"] == "uniform"
+
+    def test_repeated_values_widen(self, filled):
+        store, _ = filled
+        both = query_results(store, ResultQuery(
+            archs=("siam", "kite"), sizes=(16,),
+        ))
+        assert both["total"] == 8
+
+    def test_unicode_tag_filter(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(tags=("grid-β",)))
+        assert out["total"] == 4
+        assert all(r["case"]["tag"] == "grid-β" for r in out["results"])
+
+    def test_override_subset_match_is_numeric(self, filled):
+        store, _ = filled
+        for probe in (64, 64.0):
+            out = query_results(store, ResultQuery(
+                overrides=(("flit_bytes", probe),),
+            ))
+            assert out["total"] == 1
+            assert out["results"][0]["case"]["tag"] == "overridden"
+        none = query_results(store, ResultQuery(
+            overrides=(("flit_bytes", 32),),
+        ))
+        assert none["total"] == 0
+
+    def test_has_arrays_flag_without_payload_io(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(tags=("overridden",)))
+        assert out["results"][0]["has_arrays"] is True
+        assert store.stats.hits == 0  # no npz was ever opened
+
+
+class TestPagination:
+    def test_pages_tile_the_match_set_deterministically(self, filled):
+        store, cases = filled
+        whole = query_results(store, ResultQuery(limit=100))["results"]
+        keys = [r["key"] for r in whole]
+        assert keys == sorted(set(keys), key=lambda k: (
+            next(r["case_id"] for r in whole if r["key"] == k), k
+        ))
+        paged = []
+        for offset in range(0, len(cases), 2):
+            page = query_results(
+                store, ResultQuery(offset=offset, limit=2)
+            )["results"]
+            paged.extend(r["key"] for r in page)
+        assert paged == keys
+
+    def test_identical_queries_are_bit_identical(self, filled):
+        store, _ = filled
+        query = ResultQuery(metrics=("value",), pivot="value", limit=5)
+        a = json.dumps(query_results(store, query), sort_keys=True)
+        b = json.dumps(query_results(store, query), sort_keys=True)
+        # A second, fresh reader over the same directory agrees too.
+        fresh = ResultStore(store.root)
+        c = json.dumps(query_results(fresh, query), sort_keys=True)
+        assert a == b == c
+
+    def test_limit_is_capped(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(limit=10**9))
+        assert out["limit"] == MAX_PAGE_ROWS
+
+    def test_offset_past_the_end_is_empty(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(offset=1000, limit=10))
+        assert out["results"] == []
+        assert out["total"] > 0
+
+
+class TestAggregates:
+    def test_stats_cover_all_matches_not_the_page(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(
+            sizes=(16,), metrics=("value",), limit=2,
+        ))
+        agg = out["aggregates"]["value"]
+        assert agg["count"] == 8
+        assert len(out["results"]) == 2
+
+    def test_stats_match_a_manual_fold(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(
+            sizes=(16,), metrics=("latency",), limit=100,
+        ))
+        ref = RunningStats("latency")
+        for row in out["results"]:
+            ref.add(row["metrics"]["latency"])
+        agg = out["aggregates"]["latency"]
+        assert agg["count"] == ref.count
+        assert agg["sum"] == ref.sum
+        assert agg["mean"] == ref.mean
+        assert agg["min"] == ref.min
+        assert agg["max"] == ref.max
+        assert agg["missing"] == 0
+
+    def test_missing_metric_is_counted_not_raised(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(metrics=("latency",)))
+        # The overridden special case lacks "latency".
+        assert out["aggregates"]["latency"]["missing"] == 1
+        assert out["aggregates"]["latency"]["count"] == 8
+
+    def test_no_matches_yields_null_mean(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(
+            archs=("nosuch",), metrics=("value",),
+        ))
+        agg = out["aggregates"]["value"]
+        assert agg == {"count": 0, "sum": 0.0, "mean": None,
+                       "min": None, "max": None, "missing": 0}
+
+    def test_pivot_table(self, filled):
+        store, _ = filled
+        out = query_results(store, ResultQuery(
+            sizes=(16,), pivot="value",
+        ))
+        rows = out["pivot"]["rows"]
+        assert set(rows) == {"uniform", "neighbor"}
+        assert set(rows["uniform"]) == {"siam", "kite"}
+        # mean of seeds (0, 1) with value = seed + len(arch)
+        assert rows["uniform"]["siam"] == pytest.approx(4.5)
+        assert rows["uniform"]["kite"] == pytest.approx(4.5)
+        assert out["pivot"]["missing"] == 0
+
+
+class TestParse:
+    def test_parse_full_query(self):
+        query = parse_result_query({
+            "arch": ["siam", "kite"], "size": ["16"], "seed": ["0", "1"],
+            "workload": ["uniform"], "tag": ["grid-β"],
+            "override": ["flit_bytes=64"],
+            "metric": ["value,latency"], "pivot": ["value"],
+            "offset": ["4"], "limit": ["2"],
+        })
+        assert query.archs == ("siam", "kite")
+        assert query.sizes == (16,)
+        assert query.seeds == (0, 1)
+        assert query.tags == ("grid-β",)
+        assert query.overrides == (("flit_bytes", 64),)
+        assert query.metrics == ("value", "latency")
+        assert query.pivot == "value"
+        assert (query.offset, query.limit) == (4, 2)
+
+    def test_unknown_parameter_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown query parameters"):
+            parse_result_query({"archs": ["siam"]})
+
+    def test_bad_ints_are_errors(self):
+        with pytest.raises(ValueError, match="integer"):
+            parse_result_query({"size": ["big"]})
+        with pytest.raises(ValueError, match="integer"):
+            parse_result_query({"limit": ["many"]})
+
+    def test_bad_override_is_an_error(self):
+        with pytest.raises(ValueError, match="name=value"):
+            parse_result_query({"override": ["flit_bytes"]})
+
+    def test_string_override_value_passes_through(self):
+        query = parse_result_query({"override": ["sim_engine=jit"]})
+        assert query.overrides == (("sim_engine", "jit"),)
+
+    def test_negative_offset_clamps(self):
+        assert parse_result_query({"offset": ["-3"]}).offset == 0

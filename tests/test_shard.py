@@ -556,3 +556,95 @@ class TestMultiProcessStoreAccess:
         merged = merge_stream(ResultStore(tmp_path), _eval_ok, cases)
         assert merged.evaluated == 0
         assert merged.total == len(cases)
+
+
+class _ScriptedStore:
+    """Stand-in store whose ``missing`` follows a fixed script."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    def missing(self, keys):
+        self.calls += 1
+        if len(self.script) > 1:
+            return self.script.pop(0)
+        return self.script[0]
+
+
+class TestPollBackoff:
+    """Satellite regression: no-progress polls back off exponentially."""
+
+    def test_wait_backoff_doubles_caps_and_resets(self, monkeypatch):
+        # Deterministic check of the sleep schedule itself: record the
+        # requested sleeps, script the store so progress lands mid-way.
+        import repro.eval.shard as shard_mod
+
+        sleeps = []
+        monkeypatch.setattr(shard_mod.time, "sleep", sleeps.append)
+        cases = _grid()[:2]
+        keys = [case_key(c, FP) for c in cases]
+        every = frozenset(keys)
+        one = frozenset(keys[:1])
+        store = _ScriptedStore([
+            every, every, every,  # three idle scans
+            one, one, one,        # progress, then three more idle scans
+            frozenset(),          # done
+        ])
+        wait_for_cases(store, _eval_ok, cases,
+                       poll_s=0.01, max_poll_s=0.04)
+        assert sleeps == pytest.approx(
+            [0.01, 0.02, 0.04, 0.01, 0.02, 0.04]
+        )
+        assert store.calls == 7
+
+    def test_long_idle_wait_does_few_store_scans(self, tmp_path):
+        # A coordinator parked on an empty store for ~0.6s: exponential
+        # backoff needs O(log) scans where the old fixed 0.01s interval
+        # needed ~60.
+        store = ResultStore(tmp_path)
+        scans = []
+        real_missing = store.missing
+        store.missing = lambda keys: (scans.append(1),
+                                      real_missing(keys))[1]
+        with pytest.raises(TimeoutError):
+            wait_for_cases(
+                store, _eval_ok, _grid(),
+                timeout_s=0.6, poll_s=0.01, max_poll_s=0.15,
+            )
+        assert 1 < len(scans) <= 15
+
+    def test_drain_parked_behind_live_lease_does_few_passes(self, tmp_path):
+        # One case held by a foreign claim that expires after ~0.5s:
+        # the drain should wait it out in a handful of widening passes,
+        # not ~50 fixed-interval ones.
+        store = ResultStore(tmp_path)
+        cases = _grid()
+        fp = evaluator_fingerprint(_eval_ok)
+        LeaseBoard(store, worker="ghost", ttl_s=60.0).acquire(
+            case_key(cases[0], fp)
+        )
+        report = drain_cases(
+            ResultStore(tmp_path), _eval_ok, cases,
+            lease_ttl_s=0.5, poll_s=0.01, max_poll_s=0.2,
+        )
+        assert report.evaluated == len(cases)
+        assert 1 < report.passes <= 15
+
+    def test_backoff_respects_tight_deadline(self, tmp_path):
+        # max_poll_s far above the deadline: the drain must still raise
+        # within ~one poll of the deadline, not one max_poll_s after.
+        store = ResultStore(tmp_path)
+        cases = _grid()
+        fp = evaluator_fingerprint(_eval_ok)
+        LeaseBoard(store, worker="ghost", ttl_s=60.0).acquire(
+            case_key(cases[0], fp)
+        )
+        t0 = time.monotonic()
+        with pytest.raises(TimeoutError):
+            drain_cases(
+                ResultStore(tmp_path), _eval_ok, cases,
+                lease_ttl_s=60.0, poll_s=0.05, max_poll_s=30.0,
+                deadline_s=0.3,
+            )
+        assert time.monotonic() - t0 < 2.0

@@ -382,3 +382,107 @@ class TestShardHelpers:
     def test_claims_root_is_inside_the_store(self, tmp_path):
         store = ResultStore(tmp_path)
         assert store.claims_root == store.root / "claims"
+
+
+class TestRefreshGuard:
+    """Satellite regression: unchanged shards are never re-read."""
+
+    def _fill(self, root, n=4):
+        writer = ResultStore(root)
+        cases = [SweepCase(arch="siam", num_chiplets=16, seed=i)
+                 for i in range(n)]
+        keys = [case_key(c, FP) for c in cases]
+        for key, case in zip(keys, cases):
+            writer.put(key, result_for(case))
+        return keys
+
+    def test_quiescent_store_does_no_shard_io(self, tmp_path):
+        keys = self._fill(tmp_path)
+        reader = ResultStore(tmp_path)
+        assert not reader.missing(keys)
+        baseline = reader.stats.shard_reads
+        assert baseline >= 1
+        for _ in range(25):
+            assert not reader.missing(keys)
+            assert len(list(reader.iter_records())) == len(keys)
+            assert len(reader) == len(keys)
+        # Repeated queries over an unchanged store: pure dict work.
+        assert reader.stats.shard_reads == baseline
+
+    def test_appended_record_is_picked_up(self, tmp_path):
+        keys = self._fill(tmp_path, n=2)
+        reader = ResultStore(tmp_path)
+        assert not reader.missing(keys)
+        before = reader.stats.shard_reads
+        case = SweepCase(arch="kite", num_chiplets=16, seed=9)
+        key = case_key(case, FP)
+        ResultStore(tmp_path).put(key, result_for(case))
+        assert reader.has(key)
+        assert reader.stats.shard_reads > before
+
+    def test_torn_tail_still_refreshes_correctly(self, tmp_path):
+        # A writer crashed (or is mid-write) after half a line: the
+        # reader must neither consume the torn tail nor let the sig
+        # guard hide the completed line once the rest lands.
+        writer = ResultStore(tmp_path)
+        case = SweepCase(arch="siam", num_chiplets=16, seed=0)
+        key = case_key(case, FP)
+        writer.put(key, result_for(case))
+        shard = writer._shard_path(key)
+
+        line = shard.read_bytes().splitlines()[0]
+        record = json.loads(line)
+        key2 = key[:2] + "f" * (len(key) - 2)
+        record["k"] = key2
+        full = json.dumps(record, separators=(",", ":")).encode()
+        head, tail = full[: len(full) // 2], full[len(full) // 2:]
+
+        reader = ResultStore(tmp_path)
+        assert reader.has(key)
+        with shard.open("ab") as fh:
+            fh.write(head)  # torn: no trailing newline
+        assert not reader.has(key2)       # tail not consumed
+        assert reader.has(key)            # existing records intact
+        reads_after_torn = reader.stats.shard_reads
+        assert not reader.has(key2)       # unchanged file: no re-read
+        assert reader.stats.shard_reads == reads_after_torn
+        with shard.open("ab") as fh:
+            fh.write(tail + b"\n")        # the newline lands
+        assert reader.has(key2)
+        assert reader.has(key)
+
+    def test_rewritten_shorter_shard_rebuilds(self, tmp_path):
+        # A shard rewritten shorter (manual compaction, restored
+        # backup) must drop the records it no longer contains.
+        store = ResultStore(tmp_path)
+        k1, k2 = "aa" + "1" * 14, "aa" + "2" * 14
+        case = SweepCase(arch="siam", num_chiplets=16, seed=0)
+        store.put(k1, result_for(case))
+        store.put(k2, result_for(case))
+        reader = ResultStore(tmp_path)
+        assert reader.has(k1) and reader.has(k2)
+        shard = reader._shard_path(k1)
+        first_line = shard.read_bytes().splitlines()[0] + b"\n"
+        shard.write_bytes(first_line)
+        assert reader.has(k1)
+        assert not reader.has(k2)
+        assert len(reader) == 1
+
+    def test_iter_records_skips_payload_io(self, tmp_path):
+        from repro.eval.store import case_from_record
+
+        store = ResultStore(tmp_path)
+        case = SweepCase(arch="siam", num_chiplets=16, seed=3,
+                         tag="arrayful")
+        key = case_key(case, FP)
+        store.put(key, result_for(
+            case, arrays={"tiers": np.arange(4)},
+        ))
+        reader = ResultStore(tmp_path)
+        records = dict(reader.iter_records())
+        assert set(records) == {key}
+        assert records[key]["arrays"] is True
+        # No npz was opened: array loads count store hits; none here.
+        assert reader.stats.hits == 0
+        rebuilt = case_from_record(records[key])
+        assert rebuilt == case
